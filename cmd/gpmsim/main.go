@@ -1,0 +1,443 @@
+// Command gpmsim reproduces the paper's tables and figures and runs custom
+// global-power-management simulations on the trace-based CMP analysis tool.
+//
+// Usage:
+//
+//	gpmsim [flags] <experiment> [experiment...]
+//
+// Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// fig11 validate modecount explore scaleout transrate minpower selectors
+// thermal run all
+//
+// Examples:
+//
+//	gpmsim fig4                                       # curves for the 4-way baseline combo
+//	gpmsim -quick fig11                               # reduced horizon & grid
+//	gpmsim -policy maxbips -combo 4w-mcf-mcf-art-art -budget 0.75 run
+//	gpmsim -csv fig4                                  # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/experiment"
+	"gpm/internal/metrics"
+	"gpm/internal/report"
+	"gpm/internal/workload"
+)
+
+var (
+	flagQuick   = flag.Bool("quick", false, "reduced horizon (15 ms) and budget grid for fast runs")
+	flagCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flagPolicy  = flag.String("policy", "maxbips", "policy for 'run': maxbips|greedy|priority|pullhipushlo|chipwide|oracle|stable|fairness|hierarchical")
+	flagCombo   = flag.String("combo", "4w-ammp-mcf-crafty-art", "workload combo ID for 'run' (see Table 2 IDs)")
+	flagBudget  = flag.Float64("budget", 0.80, "budget fraction of max chip power for 'run'")
+	flagHorizon = flag.Duration("horizon", 0, "override simulation horizon (e.g. 20ms)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>...")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched run all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	env := buildEnv()
+	for _, cmd := range flag.Args() {
+		if err := dispatch(env, cmd); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmsim %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func buildEnv() *experiment.Env {
+	env := experiment.NewEnv(4)
+	if *flagQuick {
+		env = env.ShortHorizon(15 * time.Millisecond)
+		env.Budgets = []float64{0.60, 0.70, 0.80, 0.90, 1.00}
+	}
+	if *flagHorizon > 0 {
+		env = env.ShortHorizon(*flagHorizon)
+	}
+	return env
+}
+
+func emit(t *report.Table) {
+	if *flagCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+}
+
+func dispatch(env *experiment.Env, cmd string) error {
+	switch cmd {
+	case "all":
+		for _, c := range []string{"table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "validate", "modecount", "explore", "scaleout", "transrate", "minpower", "selectors", "thermal", "sched"} {
+			if err := dispatch(env, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "table4":
+		return table4(env)
+	case "table5":
+		return table5(env)
+	case "fig2":
+		return fig2(env)
+	case "fig3":
+		return fig3(env)
+	case "fig4":
+		return fig4(env)
+	case "fig5":
+		return fig5(env)
+	case "fig6":
+		return fig6(env)
+	case "fig7":
+		return fig7(env)
+	case "fig8":
+		return figScaling(env, 2)
+	case "fig9":
+		return figScaling(env, 4)
+	case "fig10":
+		return figScaling(env, 8)
+	case "fig11":
+		return fig11(env)
+	case "validate":
+		return validate(env)
+	case "modecount":
+		return modecount(env)
+	case "explore":
+		return explore(env)
+	case "scaleout":
+		return scaleout(env)
+	case "transrate":
+		return transrate(env)
+	case "minpower":
+		return minpower(env)
+	case "selectors":
+		return selectors(env)
+	case "thermal":
+		return thermalCmd(env)
+	case "sched":
+		return sched(env)
+	case "run":
+		return custom(env)
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func table4(env *experiment.Env) error {
+	t := report.NewTable("Table 4: analytic DVFS estimates", "mode", "V scale", "f scale", "power savings", "perf degradation", "ratio")
+	for _, r := range experiment.Table4(env.Plan) {
+		t.AddRow(r.Mode, fmt.Sprintf("%.2f", r.VScale), fmt.Sprintf("%.2f", r.FScale),
+			report.Pct(r.PowerSavings), report.Pct(r.PerfDegradation), fmt.Sprintf("%.2f", r.SavingsPerDegrade))
+	}
+	emit(t)
+	return nil
+}
+
+func table5(env *experiment.Env) error {
+	t := report.NewTable("Table 5: DVFS transition overheads", "transition", "ΔV [mV]", "t [µs]")
+	for _, r := range experiment.Table5(env.Plan) {
+		t.AddRow(r.From+" -> "+r.To, fmt.Sprintf("%.0f", r.DeltaV*1000), fmt.Sprintf("%.1f", r.Overhead.Seconds()*1e6))
+	}
+	emit(t)
+	return nil
+}
+
+func fig2(env *experiment.Env) error {
+	rows, err := env.Figure2()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 2: measured ∆PowerSavings : ∆PerfDegradation", "benchmark", "mode", "power savings", "perf degradation")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Mode, report.Pct(r.PowerSavings), report.Pct(r.PerfDegradation))
+	}
+	emit(t)
+	return nil
+}
+
+func fig3(env *experiment.Env) error {
+	series, err := env.Figure3()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 3: chip power at 83% budget", "combo", "policy", "avg power", "degradation")
+	for _, s := range series {
+		t.AddRow(s.ComboID, s.Policy, report.Pct(s.AvgPowerFrac), report.Pct(s.Degradation))
+	}
+	emit(t)
+	if !*flagCSV {
+		for _, s := range series {
+			ts := report.NewTimeSeries(fmt.Sprintf("%s / %s (budget 83%%)", s.ComboID, s.Policy), "time →", 100)
+			ts.Add("chip power", s.ChipPowerFrac)
+			fmt.Println(ts.String())
+		}
+	}
+	return nil
+}
+
+func curveTable(title string, curves []*experiment.PolicyCurve) *report.Table {
+	t := report.NewTable(title, "policy", "budget", "degradation", "weighted slowdown", "power/budget", "power saving")
+	for _, c := range curves {
+		for i := range c.Budgets {
+			t.AddRow(c.Policy, report.Pct(c.Budgets[i]), report.Pct(c.Degradation[i]),
+				report.Pct(c.WeightedSlowdown[i]), report.Pct(c.BudgetFit[i]), report.Pct(c.PowerSaving[i]))
+		}
+	}
+	return t
+}
+
+func fig4(env *experiment.Env) error {
+	f4, err := env.Figure4()
+	if err != nil {
+		return err
+	}
+	emit(curveTable("Figure 4: policy/budget/weighted-slowdown curves ("+f4.ComboID+")", f4.Curves))
+	return nil
+}
+
+func fig5(env *experiment.Env) error {
+	pts, err := env.Figure5()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 5: power saving vs perf degradation (target 3:1)", "policy", "budget", "power saving", "perf degradation", "ratio")
+	for _, p := range pts {
+		ratio := "-"
+		if p.PerfDegradation > 1e-6 {
+			ratio = fmt.Sprintf("%.1f", p.PowerSaving/p.PerfDegradation)
+		}
+		t.AddRow(p.Policy, report.Pct(p.BudgetFrac), report.Pct(p.PowerSaving), report.Pct(p.PerfDegradation), ratio)
+	}
+	emit(t)
+	return nil
+}
+
+func fig6(env *experiment.Env) error {
+	drop := env.Cfg.Sim.Horizon / 2
+	f6, err := env.Figure6(drop)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 6: MaxBIPS with budget drop 90% -> 70% at "+fmt.Sprintf("%.0fµs", f6.DropAtUs),
+		"region", "avg BIPS (% of all-Turbo)")
+	t.AddRow("before drop", report.Pct(f6.AvgBIPSBefore))
+	t.AddRow("after drop", report.Pct(f6.AvgBIPSAfter))
+	emit(t)
+	if !*flagCSV {
+		ts := report.NewTimeSeries("per-application power (fraction of max chip power)", "time →", 100)
+		for c, name := range f6.Benchmarks {
+			ts.Add(name, f6.CorePowerFrac[c])
+		}
+		ts.Add("budget", f6.BudgetFrac)
+		fmt.Println(ts.String())
+	}
+	return nil
+}
+
+func fig7(env *experiment.Env) error {
+	f7, err := env.Figure7()
+	if err != nil {
+		return err
+	}
+	emit(curveTable("Figure 7: MaxBIPS vs oracle, static, chip-wide ("+f7.ComboID+")", f7.Curves))
+	return nil
+}
+
+func figScaling(env *experiment.Env, n int) error {
+	sc, err := env.FigureScaling(n)
+	if err != nil {
+		return err
+	}
+	for _, combo := range sc.Combos {
+		emit(curveTable(fmt.Sprintf("Figure %d (%d-way): %s", map[int]int{2: 8, 4: 9, 8: 10}[n], n, combo.ComboID), combo.Curves))
+	}
+	return nil
+}
+
+func fig11(env *experiment.Env) error {
+	rows, err := env.Figure11(nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 11: mean degradation over oracle vs CMP scale", "cores", "MaxBIPS", "Static", "ChipWideDVFS")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Cores), report.Pct(r.MaxBIPS), report.Pct(r.Static), report.Pct(r.ChipWide))
+	}
+	emit(t)
+	return nil
+}
+
+func validate(env *experiment.Env) error {
+	v, err := env.Validation(workload.FourWay[0], 2_000_000, 20_000)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Validation: trace characterization vs full-CMP simulation ("+v.ComboID+")",
+		"benchmark", "ST power", "CMP power", "Δpower", "ST IPC", "CMP IPC", "ΔIPC")
+	for _, r := range v.Rows {
+		t.AddRow(r.Benchmark, report.W(r.STPowerW), report.W(r.CMPPowerW), report.Pct(r.PowerDelta),
+			fmt.Sprintf("%.3f", r.STIPC), fmt.Sprintf("%.3f", r.CMPIPC), report.Pct(r.IPCDelta))
+	}
+	emit(t)
+	fmt.Printf("mean power drop %.1f%% (CMP consistently lower), mean IPC drop %.1f%%, shared-L2 wait %d cycles\n\n",
+		v.MeanPowerDrop*100, v.MeanIPCDrop*100, v.L2WaitCycles)
+	return nil
+}
+
+func modecount(env *experiment.Env) error {
+	rows, err := env.AblationModeCount([]int{3, 5, 7}, 0.80)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A1: DVFS level count at 80% budget", "levels", "MaxBIPS degradation", "chip-wide degradation")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Levels), report.Pct(r.MaxBIPSDegradation), report.Pct(r.ChipWideDegradation))
+	}
+	emit(t)
+	return nil
+}
+
+func explore(env *experiment.Env) error {
+	rows, err := env.AblationExploreInterval([]time.Duration{100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond}, 0.80)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A2: explore-interval sensitivity at 80% budget", "explore", "degradation", "stall share", "overshoot")
+	for _, r := range rows {
+		t.AddRow(r.Explore.String(), report.Pct(r.Degradation), report.Pct(r.StallShare), report.Pct(r.Overshoot))
+	}
+	emit(t)
+	return nil
+}
+
+func scaleout(env *experiment.Env) error {
+	rows, err := env.AblationScaleOut([]int{2, 4, 8, 16, 32, 64}, 0.80)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A3: exhaustive vs greedy MaxBIPS at 80% budget", "cores", "exhaustive", "greedy")
+	for _, r := range rows {
+		ex := "-"
+		if r.ExhaustiveRan {
+			ex = report.Pct(r.ExhaustiveDegradation)
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Cores), ex, report.Pct(r.GreedyDegradation))
+	}
+	emit(t)
+	return nil
+}
+
+func transrate(env *experiment.Env) error {
+	rows, err := env.AblationTransitionRate([]float64{0.005, 0.010, 0.020}, 0.80)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A4: DVFS ramp-rate sensitivity at 80% budget", "rate [mV/µs]", "Turbo->Eff2", "degradation", "stall share")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f", r.RateVPerUs*1000), r.TurboToEff2.String(), report.Pct(r.Degradation), report.Pct(r.StallShare))
+	}
+	emit(t)
+	return nil
+}
+
+func minpower(env *experiment.Env) error {
+	rows, err := env.AblationMinPower([]float64{0.99, 0.97, 0.95, 0.90})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A5: MinPower dual problem", "throughput floor", "degradation", "power saving")
+	for _, r := range rows {
+		t.AddRow(report.Pct(r.TargetFrac), report.Pct(r.Degradation), report.Pct(r.PowerSaving))
+	}
+	emit(t)
+	return nil
+}
+
+func custom(env *experiment.Env) error {
+	pol, err := core.Registry(strings.ToLower(*flagPolicy))
+	if err != nil {
+		return err
+	}
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	res, base, err := env.RunPolicy(combo, pol, *flagBudget)
+	if err != nil {
+		return err
+	}
+	sp, err := metrics.PerThreadSpeedups(res.PerCoreInstr, base.PerCoreInstr)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Run: %s on %s at %.0f%% budget", pol.Name(), combo.ID, *flagBudget*100),
+		"metric", "value")
+	t.AddRow("degradation", report.Pct(metrics.Degradation(res.TotalInstr, base.TotalInstr)))
+	t.AddRow("weighted slowdown", report.Pct(metrics.WeightedSlowdown(sp)))
+	t.AddRow("avg chip power", report.W(res.AvgChipPowerW()))
+	t.AddRow("budget", report.W(*flagBudget*base.MaxChipPowerW()))
+	t.AddRow("transition stall", res.TransitionStall.String())
+	t.AddRow("overshoot intervals", fmt.Sprintf("%d/%d", res.OvershootIntervals, len(res.ChipPowerW)))
+	emit(t)
+	if !*flagCSV {
+		ts := report.NewTimeSeries("chip power [W]", "time →", 100)
+		ts.Add("power", res.ChipPowerW)
+		ts.Add("budget", res.BudgetW)
+		fmt.Println(ts.String())
+	}
+	return nil
+}
+
+func selectors(env *experiment.Env) error {
+	rows, err := env.AblationSelectors(8, 0.80)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A6: mode selectors at 8 cores, 80% budget", "policy", "degradation", "power/budget", "stall share", "overshoot")
+	for _, r := range rows {
+		t.AddRow(r.Policy, report.Pct(r.Degradation), report.Pct(r.BudgetFit), report.Pct(r.StallShare), report.Pct(r.Overshoot))
+	}
+	emit(t)
+	return nil
+}
+
+func thermalCmd(env *experiment.Env) error {
+	res, err := env.Thermal([]float64{85, 82, 79})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Ablation A7: thermally governed budgets (%s; ungoverned peak %.1f°C)", res.ComboID, res.UngovernedMaxTempC),
+		"limit [°C]", "max temp [°C]", "degradation", "avg power")
+	for _, r := range res.Rows {
+		t.AddRow(fmt.Sprintf("%.0f", r.LimitC), fmt.Sprintf("%.1f", r.MaxTempC), report.Pct(r.Degradation), report.W(r.AvgPowerW))
+	}
+	emit(t)
+	return nil
+}
+
+func sched(env *experiment.Env) error {
+	rows, err := env.SchedCompare([]float64{0.70, 0.80, 0.90}, experiment.SchedOptions{})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A8: OS-rescheduled static vs oracle static vs MaxBIPS (§5.7)",
+		"budget", "oracle static", "OS rescheduled", "migrations", "MaxBIPS")
+	for _, r := range rows {
+		t.AddRow(report.Pct(r.BudgetFrac), report.Pct(r.StaticDeg), report.Pct(r.ReschedDeg),
+			fmt.Sprintf("%d", r.Migrations), report.Pct(r.MaxBIPSDeg))
+	}
+	emit(t)
+	return nil
+}

@@ -1,0 +1,168 @@
+// Command gpmtrace inspects and manages the benchmark characterizations the
+// CMP simulations replay: per-phase, per-mode power and IPC (the §3.1
+// single-threaded Turandot step), whole-program DVFS responses (Fig 2's
+// inputs), and the on-disk profile cache.
+//
+// Usage:
+//
+//	gpmtrace [flags] <command>
+//
+// Commands:
+//
+//	list        benchmark inventory with Table 2 intensity signals
+//	show        per-phase, per-mode characterization of -bench
+//	build       characterize every benchmark into -cache
+//	membound    memory-boundedness ranking used by PullHiPushLo
+//
+// Examples:
+//
+//	gpmtrace list
+//	gpmtrace -bench mcf show
+//	gpmtrace -cache /tmp/profiles build
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpm/internal/cmpsim"
+	"gpm/internal/config"
+	"gpm/internal/modes"
+	"gpm/internal/power"
+	"gpm/internal/report"
+	"gpm/internal/trace"
+	"gpm/internal/workload"
+)
+
+var (
+	flagBench = flag.String("bench", "mcf", "benchmark name for 'show'")
+	flagCache = flag.String("cache", "", "profile disk-cache directory (used by every command when set)")
+	flagCSV   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gpmtrace [flags] list|show|build|membound")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "gpmtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func library() *trace.Library {
+	cfg := config.Default(4)
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+	lib := trace.NewLibrary(cfg, power.Default(), plan)
+	if *flagCache != "" {
+		lib.WithDiskCache(*flagCache)
+	}
+	return lib
+}
+
+func emit(t *report.Table) {
+	if *flagCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "list":
+		return list()
+	case "show":
+		return show(*flagBench)
+	case "build":
+		return build()
+	case "membound":
+		return membound()
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func list() error {
+	t := report.NewTable("Benchmark inventory (synthetic SPEC CPU2000 models)",
+		"benchmark", "suite", "phases", "hot set", "cold set", "dynamic length")
+	for _, name := range workload.Names() {
+		s := workload.MustLookup(name)
+		t.AddRow(s.Name, s.Suite.String(), fmt.Sprintf("%d", len(s.Phases)),
+			fmt.Sprintf("%dKiB", s.HotSetBytes/1024),
+			fmt.Sprintf("%dKiB", s.ColdSetBytes/1024),
+			fmt.Sprintf("%dM instr", s.TotalInstructions/1_000_000))
+	}
+	emit(t)
+	return nil
+}
+
+func show(name string) error {
+	lib := library()
+	pr, err := lib.Profile(name)
+	if err != nil {
+		return err
+	}
+	spec := pr.Spec
+	t := report.NewTable(fmt.Sprintf("Characterization of %s (per phase, per mode)", name),
+		"phase", "mode", "power", "IPC", "instr/s", "fetch", "fxu", "fpu", "lsu", "l2")
+	for ph := range spec.Phases {
+		for m := range pr.Behavior {
+			b := pr.Behavior[m][ph]
+			a := b.Activity
+			t.AddRow(spec.Phases[ph].Name, lib.Plan().Name(modes.Mode(m)),
+				report.W(b.PowerW), fmt.Sprintf("%.3f", b.IPC),
+				fmt.Sprintf("%.2fG", b.RatePerSec/1e9),
+				fmt.Sprintf("%.2f", a.Fetch), fmt.Sprintf("%.2f", a.FXU),
+				fmt.Sprintf("%.2f", a.FPU), fmt.Sprintf("%.2f", a.LSU),
+				fmt.Sprintf("%.2f", a.L2))
+		}
+	}
+	emit(t)
+
+	w := report.NewTable("Whole-program DVFS response (Fig 2 inputs)",
+		"mode", "avg power", "power savings", "perf degradation")
+	pT, tT := pr.WholeProgram(modes.Turbo)
+	for m := 0; m < lib.Plan().NumModes(); m++ {
+		p, tm := pr.WholeProgram(modes.Mode(m))
+		w.AddRow(lib.Plan().Name(modes.Mode(m)), report.W(p),
+			report.Pct(1-p/pT), report.Pct(1-tT/tm))
+	}
+	emit(w)
+	return nil
+}
+
+func build() error {
+	if *flagCache == "" {
+		return fmt.Errorf("build requires -cache <dir>")
+	}
+	lib := library()
+	for _, name := range workload.Names() {
+		if _, err := lib.Profile(name); err != nil {
+			return err
+		}
+		fmt.Printf("characterized %s\n", name)
+	}
+	fmt.Printf("profiles stored under %s\n", *flagCache)
+	return nil
+}
+
+func membound() error {
+	lib := library()
+	t := report.NewTable("Memory-boundedness ranking (1 = frequency-insensitive)",
+		"benchmark", "score")
+	combo := workload.Combo{ID: "all", Benchmarks: workload.Names()}
+	scores, err := cmpsim.MemBoundedness(lib, combo)
+	if err != nil {
+		return err
+	}
+	for i, name := range combo.Benchmarks {
+		t.AddRow(name, fmt.Sprintf("%.3f", scores[i]))
+	}
+	emit(t)
+	return nil
+}

@@ -1,0 +1,62 @@
+package gpm_test
+
+import (
+	"fmt"
+	"time"
+
+	"gpm"
+)
+
+// The quickstart from the package documentation: run MaxBIPS at an 80%
+// chip power budget and report how close it stays to all-Turbo throughput.
+func Example() {
+	sys := gpm.NewSystem(4).ShortHorizon(10 * time.Millisecond)
+	combo, err := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+	if err != nil {
+		panic(err)
+	}
+	res, base, err := sys.RunPolicy(combo, gpm.MaxBIPS(), 0.80)
+	if err != nil {
+		panic(err)
+	}
+	deg := gpm.Degradation(res.TotalInstr, base.TotalInstr)
+	fmt.Printf("budget respected: %v\n", res.AvgChipPowerW() <= 0.80*base.EnvelopePowerW())
+	fmt.Printf("degradation under 3%%: %v\n", deg < 0.03)
+	// Output:
+	// budget respected: true
+	// degradation under 3%: true
+}
+
+// Policies are plain values; compare two at the same budget.
+func Example_policyComparison() {
+	sys := gpm.NewSystem(4).ShortHorizon(10 * time.Millisecond)
+	combo, _ := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+	mb, base, _ := sys.RunPolicy(combo, gpm.MaxBIPS(), 0.75)
+	cw, _, _ := sys.RunPolicy(combo, gpm.ChipWideDVFS(), 0.75)
+	mbDeg := gpm.Degradation(mb.TotalInstr, base.TotalInstr)
+	cwDeg := gpm.Degradation(cw.TotalInstr, base.TotalInstr)
+	fmt.Printf("per-core beats chip-wide: %v\n", mbDeg < cwDeg)
+	// Output:
+	// per-core beats chip-wide: true
+}
+
+// A time-varying budget models Fig 6's cooling failure.
+func ExampleStepBudget() {
+	budget := gpm.StepBudget(90, 70, 5*time.Millisecond)
+	fmt.Printf("%.0f W then %.0f W\n", budget(0), budget(6*time.Millisecond))
+	// Output:
+	// 90 W then 70 W
+}
+
+// Workload discovery mirrors Table 2 of the paper.
+func ExampleWorkloads() {
+	combos, _ := gpm.Workloads(4)
+	for _, c := range combos {
+		fmt.Println(c.ID)
+	}
+	// Output:
+	// 4w-ammp-mcf-crafty-art
+	// 4w-facerec-gcc-mesa-vortex
+	// 4w-sixtrack-gap-perlbmk-wupwise
+	// 4w-mcf-mcf-art-art
+}

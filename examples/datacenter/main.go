@@ -1,0 +1,69 @@
+// Datacenter sweeps a rack-style power-capping scenario: every Table 2
+// 4-way workload mix is capped at a range of budgets under four policies,
+// and the report ranks policies by worst-case and average degradation —
+// the view an operator choosing a capping policy would want.
+//
+// Run with:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/experiment"
+	"gpm/internal/metrics"
+	"gpm/internal/report"
+	"gpm/internal/workload"
+)
+
+func main() {
+	env := experiment.NewEnv(4).ShortHorizon(20 * time.Millisecond)
+	budgets := []float64{0.70, 0.80, 0.90}
+	policies := []core.Policy{core.MaxBIPS{}, core.GreedyMaxBIPS{}, core.Priority{}, core.ChipWideDVFS{}}
+
+	type agg struct {
+		sum, worst float64
+		n          int
+	}
+	stats := map[string]*agg{}
+
+	t := report.NewTable("Power capping across Table 2 4-way mixes", "mix", "policy", "budget", "degradation", "power/budget")
+	for _, combo := range workload.FourWay {
+		base, err := env.Baseline(combo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pol := range policies {
+			if stats[pol.Name()] == nil {
+				stats[pol.Name()] = &agg{}
+			}
+			for _, b := range budgets {
+				res, _, err := env.RunPolicy(combo, pol, b)
+				if err != nil {
+					log.Fatal(err)
+				}
+				deg := metrics.Degradation(res.TotalInstr, base.TotalInstr)
+				fit := metrics.BudgetFit(res.AvgChipPowerW(), b*base.EnvelopePowerW())
+				t.AddRow(combo.ID, pol.Name(), report.Pct(b), report.Pct(deg), report.Pct(fit))
+				s := stats[pol.Name()]
+				s.sum += deg
+				s.n++
+				if deg > s.worst {
+					s.worst = deg
+				}
+			}
+		}
+	}
+	fmt.Println(t.String())
+
+	sum := report.NewTable("Policy ranking (lower is better)", "policy", "mean degradation", "worst degradation")
+	for _, pol := range policies {
+		s := stats[pol.Name()]
+		sum.AddRow(pol.Name(), report.Pct(s.sum/float64(s.n)), report.Pct(s.worst))
+	}
+	fmt.Println(sum.String())
+}

@@ -1,0 +1,38 @@
+// Thermalcap demonstrates temperature-derived power budgets: per-core RC
+// thermal nodes integrate the simulated power draw, and a governor converts
+// an 85 °C junction limit into the chip budget the MaxBIPS manager enforces
+// — the deployment loop behind Fig 6's "part of the cooling solution fails"
+// scenario.
+//
+// Run with:
+//
+//	go run ./examples/thermalcap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpm/internal/experiment"
+	"gpm/internal/report"
+)
+
+func main() {
+	env := experiment.NewEnv(4).ShortHorizon(30 * time.Millisecond)
+	res, err := env.Thermal([]float64{85, 82, 79})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s — without governance the die peaks at %.1f °C\n\n",
+		res.ComboID, res.UngovernedMaxTempC)
+	t := report.NewTable("Junction-temperature limits vs performance",
+		"limit [°C]", "max temp [°C]", "degradation", "avg power")
+	for _, r := range res.Rows {
+		t.AddRow(fmt.Sprintf("%.0f", r.LimitC), fmt.Sprintf("%.1f", r.MaxTempC),
+			report.Pct(r.Degradation), report.W(r.AvgPowerW))
+	}
+	fmt.Println(t.String())
+	fmt.Println("the governor holds every limit while giving up only a few percent of throughput.")
+}

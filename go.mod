@@ -1,0 +1,3 @@
+module gpm
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package gpm is the public API of the global CMP power-management library —
+// a from-scratch reproduction of Isci, Buyuktosunoglu, Cher, Bose and
+// Martonosi, "An Analysis of Efficient Multi-Core Global Power Management
+// Policies: Maximizing Performance for a Given Power Budget" (MICRO 2006).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - System: configuration + power model + DVFS plan + benchmark profiles,
+//   - the global power manager policies (MaxBIPS, Priority, PullHiPushLo,
+//     ChipWideDVFS, Oracle, plus extensions),
+//   - the trace-based CMP simulator and its results, and
+//   - every paper experiment (tables, figures, ablations).
+//
+// Quickstart:
+//
+//	sys := gpm.NewSystem(4)                       // 4-core POWER4-class CMP
+//	combo, _ := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+//	res, base, _ := sys.RunPolicy(combo, gpm.MaxBIPS(), 0.80)
+//	fmt.Println(gpm.Degradation(res.TotalInstr, base.TotalInstr))
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package gpm
+
+import (
+	"time"
+
+	"gpm/internal/cmpsim"
+	"gpm/internal/core"
+	"gpm/internal/experiment"
+	"gpm/internal/metrics"
+	"gpm/internal/modes"
+	"gpm/internal/workload"
+)
+
+// System is a fully configured simulation environment: processor model,
+// power model, DVFS plan and benchmark profile cache. It is the entry point
+// for every experiment and custom run.
+type System = experiment.Env
+
+// NewSystem builds the paper's default system for n cores: Table 1 core and
+// memory hierarchy, the Turbo/Eff1/Eff2 DVFS plan at 1.300 V nominal, 50 µs
+// delta-sim and 500 µs explore intervals.
+func NewSystem(n int) *System { return experiment.NewEnv(n) }
+
+// Policy decides per-core mode vectors at every explore interval.
+type Policy = core.Policy
+
+// Mode indexes a DVFS level; 0 is always Turbo.
+type Mode = modes.Mode
+
+// ModeVector is a per-core mode assignment.
+type ModeVector = modes.Vector
+
+// Result is a completed CMP simulation at delta-sim resolution.
+type Result = cmpsim.Result
+
+// Workload is a benchmark-to-core assignment (Table 2 combination).
+type Workload = workload.Combo
+
+// The paper's policies (§5.2, §5.3, §5.6) and this library's extensions.
+func MaxBIPS() Policy       { return core.MaxBIPS{} }
+func Priority() Policy      { return core.Priority{} }
+func PullHiPushLo() Policy  { return core.PullHiPushLo{} }
+func ChipWideDVFS() Policy  { return core.ChipWideDVFS{} }
+func Oracle() Policy        { return core.Oracle{} }
+func GreedyMaxBIPS() Policy { return core.GreedyMaxBIPS{} }
+
+// MinPower returns the dual-problem policy: minimize power subject to a
+// throughput floor expressed as a fraction of all-Turbo throughput.
+func MinPower(targetFrac float64) Policy { return core.MinPower{TargetFrac: targetFrac} }
+
+// StableMaxBIPS is MaxBIPS with switching hysteresis: it holds the current
+// vector unless the predicted gain exceeds threshold (0 selects the
+// default), avoiding transition-stall thrash on jittery workloads.
+func StableMaxBIPS(threshold float64) Policy { return core.StableMaxBIPS{Threshold: threshold} }
+
+// FairnessPolicy maximizes the harmonic mean of per-core predicted
+// speedups under the budget (the §5.4 weighted-slowdown metric as an
+// objective).
+func FairnessPolicy() Policy { return core.Fairness{} }
+
+// Hierarchical is the two-level manager of §2's vision: per-cluster
+// exhaustive MaxBIPS under demand-proportional budget shares.
+func Hierarchical(clusterSize int) Policy { return core.Hierarchical{ClusterSize: clusterSize} }
+
+// FixedModes pins every core to the given vector (the §5.7 static bound).
+func FixedModes(v ModeVector) Policy { return core.Fixed{Vector: v} }
+
+// PolicyByName resolves a policy from its CLI name
+// (maxbips|greedy|priority|pullhipushlo|chipwide|oracle).
+func PolicyByName(name string) (Policy, error) { return core.Registry(name) }
+
+// FindWorkload resolves a Table 2 combination by ID, e.g.
+// "4w-ammp-mcf-crafty-art".
+func FindWorkload(id string) (Workload, error) { return workload.FindCombo(id) }
+
+// Workloads returns the paper's benchmark combinations for a CMP width
+// (1, 2, 4 or 8).
+func Workloads(cores int) ([]Workload, error) { return workload.Combos(cores) }
+
+// Benchmarks lists the 12 synthetic SPEC CPU2000 models.
+func Benchmarks() []string { return workload.Names() }
+
+// FixedBudget returns a constant chip power budget in watts.
+func FixedBudget(w float64) func(time.Duration) float64 { return cmpsim.FixedBudget(w) }
+
+// StepBudget switches the budget from w1 to w2 at time t (the Fig 6
+// cooling-failure scenario).
+func StepBudget(w1, w2 float64, t time.Duration) func(time.Duration) float64 {
+	return cmpsim.StepBudget(w1, w2, t)
+}
+
+// Degradation returns 1 − policy/baseline committed instructions.
+func Degradation(policyInstr, baselineInstr float64) float64 {
+	return metrics.Degradation(policyInstr, baselineInstr)
+}
+
+// WeightedSlowdown returns the §5.4 fairness metric from per-thread
+// speedups.
+func WeightedSlowdown(speedups []float64) float64 { return metrics.WeightedSlowdown(speedups) }
+
+// PerThreadSpeedups divides per-core instruction counts against a baseline.
+func PerThreadSpeedups(policy, baseline []float64) ([]float64, error) {
+	return metrics.PerThreadSpeedups(policy, baseline)
+}

@@ -1,0 +1,73 @@
+package gpm_test
+
+import (
+	"testing"
+	"time"
+
+	"gpm"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end, exactly as the package comment advertises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := gpm.NewSystem(4).ShortHorizon(10 * time.Millisecond)
+	combo, err := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, base, err := sys.RunPolicy(combo, gpm.MaxBIPS(), 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := gpm.Degradation(res.TotalInstr, base.TotalInstr)
+	if deg < 0 || deg > 0.10 {
+		t.Errorf("MaxBIPS at 80%%: degradation %.3f outside plausible band", deg)
+	}
+	sp, err := gpm.PerThreadSpeedups(res.PerCoreInstr, base.PerCoreInstr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := gpm.WeightedSlowdown(sp); ws < 0 || ws > 0.15 {
+		t.Errorf("weighted slowdown %.3f outside plausible band", ws)
+	}
+}
+
+func TestPublicPolicyConstructors(t *testing.T) {
+	for _, p := range []gpm.Policy{
+		gpm.MaxBIPS(), gpm.Priority(), gpm.PullHiPushLo(), gpm.ChipWideDVFS(),
+		gpm.Oracle(), gpm.GreedyMaxBIPS(), gpm.MinPower(0.95), gpm.FixedModes(nil),
+	} {
+		if p.Name() == "" {
+			t.Error("policy with empty name")
+		}
+	}
+	if _, err := gpm.PolicyByName("maxbips"); err != nil {
+		t.Error(err)
+	}
+	if _, err := gpm.PolicyByName("bogus"); err == nil {
+		t.Error("bogus policy resolved")
+	}
+}
+
+func TestPublicWorkloadDiscovery(t *testing.T) {
+	if got := len(gpm.Benchmarks()); got != 12 {
+		t.Errorf("Benchmarks() returned %d, want 12", got)
+	}
+	for _, n := range []int{2, 4, 8} {
+		ws, err := gpm.Workloads(n)
+		if err != nil || len(ws) == 0 {
+			t.Errorf("Workloads(%d): %v %v", n, ws, err)
+		}
+	}
+}
+
+func TestPublicBudgetHelpers(t *testing.T) {
+	fb := gpm.FixedBudget(50)
+	if fb(0) != 50 || fb(time.Hour) != 50 {
+		t.Error("FixedBudget not constant")
+	}
+	sb := gpm.StepBudget(90, 70, time.Millisecond)
+	if sb(0) != 90 || sb(2*time.Millisecond) != 70 {
+		t.Error("StepBudget edge wrong")
+	}
+}

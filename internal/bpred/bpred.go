@@ -1,0 +1,140 @@
+// Package bpred implements the Table 1 branch predictor: a tournament of a
+// 16K-entry bimodal table and a 16K-entry gshare table arbitrated by a
+// 16K-entry selector, all of 2-bit saturating counters.
+package bpred
+
+// counter is a 2-bit saturating counter; values 2 and 3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Predictor is a tournament branch predictor. The zero value is not usable;
+// construct with New.
+type Predictor struct {
+	bimodal  []counter
+	gshare   []counter
+	selector []counter // >= 2 selects gshare
+
+	history     uint64
+	historyMask uint64
+
+	bMask, gMask, sMask uint64
+
+	// Stats
+	lookups     uint64
+	mispredicts uint64
+}
+
+// New builds a predictor with the given table sizes (entries; must be powers
+// of two) and gshare history length in bits.
+func New(bimodalEntries, gshareEntries, selectorEntries, historyBits int) *Predictor {
+	pow2 := func(n int) int {
+		if n <= 0 || n&(n-1) != 0 {
+			panic("bpred: table sizes must be positive powers of two")
+		}
+		return n
+	}
+	p := &Predictor{
+		bimodal:  make([]counter, pow2(bimodalEntries)),
+		gshare:   make([]counter, pow2(gshareEntries)),
+		selector: make([]counter, pow2(selectorEntries)),
+	}
+	p.bMask = uint64(bimodalEntries - 1)
+	p.gMask = uint64(gshareEntries - 1)
+	p.sMask = uint64(selectorEntries - 1)
+	if historyBits <= 0 || historyBits > 63 {
+		panic("bpred: history bits must be in 1..63")
+	}
+	p.historyMask = (1 << uint(historyBits)) - 1
+	// Weakly-taken initial state matches common hardware reset behaviour and
+	// avoids a cold-start bias toward not-taken on loop branches.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.selector {
+		p.selector[i] = 1 // weakly prefer bimodal
+	}
+	return p
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	idx := pc >> 2
+	b := p.bimodal[idx&p.bMask].taken()
+	g := p.gshare[(idx^p.history)&p.gMask].taken()
+	if p.selector[idx&p.sMask].taken() {
+		return g
+	}
+	return b
+}
+
+// Update trains the predictor with the actual outcome and returns whether
+// the prediction (made with the pre-update state) was wrong.
+func (p *Predictor) Update(pc uint64, taken bool) (mispredicted bool) {
+	idx := pc >> 2
+	bIdx := idx & p.bMask
+	gIdx := (idx ^ p.history) & p.gMask
+	sIdx := idx & p.sMask
+
+	b := p.bimodal[bIdx].taken()
+	g := p.gshare[gIdx].taken()
+	pred := b
+	if p.selector[sIdx].taken() {
+		pred = g
+	}
+	mispredicted = pred != taken
+
+	// Selector trains toward whichever component was right (only when they
+	// disagree).
+	if b != g {
+		p.selector[sIdx] = p.selector[sIdx].update(g == taken)
+	}
+	p.bimodal[bIdx] = p.bimodal[bIdx].update(taken)
+	p.gshare[gIdx] = p.gshare[gIdx].update(taken)
+	p.history = ((p.history << 1) | boolBit(taken)) & p.historyMask
+
+	p.lookups++
+	if mispredicted {
+		p.mispredicts++
+	}
+	return mispredicted
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats reports lifetime lookup and misprediction counts.
+func (p *Predictor) Stats() (lookups, mispredicts uint64) {
+	return p.lookups, p.mispredicts
+}
+
+// MispredictRate returns mispredicts/lookups, or 0 before any lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.lookups)
+}
+
+// ResetStats clears the counters but keeps learned state (used after warmup).
+func (p *Predictor) ResetStats() { p.lookups, p.mispredicts = 0, 0 }

@@ -1,0 +1,165 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newSmall() *Predictor { return New(1024, 1024, 1024, 10) }
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := newSmall()
+	pc := uint64(0x400)
+	mis := 0
+	for i := 0; i < 1000; i++ {
+		if p.Update(pc, true) {
+			mis++
+		}
+	}
+	if mis > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", mis)
+	}
+}
+
+func TestLoopExitCost(t *testing.T) {
+	p := newSmall()
+	pc := uint64(0x800)
+	// Loop with trip count 8: 7 taken, 1 not-taken, repeated. A bimodal
+	// predictor should mispredict roughly once per trip (the exit).
+	mis := 0
+	const trips = 200
+	for l := 0; l < trips; l++ {
+		for i := 0; i < 7; i++ {
+			if p.Update(pc, true) {
+				mis++
+			}
+		}
+		if p.Update(pc, false) {
+			mis++
+		}
+	}
+	rate := float64(mis) / float64(trips*8)
+	// gshare's 10-bit history captures the period-8 pattern, so a fixed trip
+	// count is learned essentially perfectly.
+	if rate > 0.10 {
+		t.Errorf("fixed-trip loop mispredict rate %.2f too high", rate)
+	}
+}
+
+func TestVariableTripLoopExitsCost(t *testing.T) {
+	p := newSmall()
+	rng := rand.New(rand.NewSource(3))
+	pc := uint64(0x840)
+	mis, branches := 0, 0
+	for l := 0; l < 400; l++ {
+		trip := 4 + rng.Intn(9) // 4..12, unlearnable exit position
+		for i := 0; i < trip-1; i++ {
+			if p.Update(pc, true) {
+				mis++
+			}
+			branches++
+		}
+		if p.Update(pc, false) {
+			mis++
+		}
+		branches++
+	}
+	rate := float64(mis) / float64(branches)
+	if rate < 0.05 {
+		t.Errorf("variable-trip loop mispredict rate %.2f implausibly low", rate)
+	}
+	if rate > 0.40 {
+		t.Errorf("variable-trip loop mispredict rate %.2f too high", rate)
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	p := newSmall()
+	pc := uint64(0xc00)
+	// Strictly alternating T/N/T/N: bimodal is ~50%, gshare with global
+	// history should learn it nearly perfectly; the selector must migrate.
+	taken := false
+	mis := 0
+	for i := 0; i < 4000; i++ {
+		if p.Update(pc, taken) {
+			if i > 1000 {
+				mis++
+			}
+		}
+		taken = !taken
+	}
+	if rate := float64(mis) / 3000; rate > 0.05 {
+		t.Errorf("alternating pattern mispredicted at %.2f after warmup", rate)
+	}
+}
+
+func TestRandomBranchNearHalf(t *testing.T) {
+	p := newSmall()
+	rng := rand.New(rand.NewSource(7))
+	pc := uint64(0x1000)
+	mis := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Update(pc, rng.Intn(2) == 0) {
+			mis++
+		}
+	}
+	rate := float64(mis) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random branch mispredict rate %.2f, want ≈0.5", rate)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := newSmall()
+	for i := 0; i < 10; i++ {
+		p.Update(0x4, true)
+	}
+	lookups, _ := p.Stats()
+	if lookups != 10 {
+		t.Errorf("lookups %d, want 10", lookups)
+	}
+	if p.MispredictRate() < 0 || p.MispredictRate() > 1 {
+		t.Error("mispredict rate out of range")
+	}
+	p.ResetStats()
+	if l, m := p.Stats(); l != 0 || m != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	// Learned state must survive: the branch is still predicted taken.
+	if !p.Predict(0x4) {
+		t.Error("ResetStats destroyed learned state")
+	}
+}
+
+func TestPredictConsistentWithUpdate(t *testing.T) {
+	p := newSmall()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		pc := uint64(rng.Intn(64)) * 4
+		taken := rng.Intn(3) > 0
+		pred := p.Predict(pc)
+		mis := p.Update(pc, taken)
+		if mis != (pred != taken) {
+			t.Fatalf("Update's misprediction flag disagrees with Predict at i=%d", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadSizes(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(1000, 1024, 1024, 10) }, // non-power-of-two
+		func() { New(0, 1024, 1024, 10) },
+		func() { New(1024, 1024, 1024, 0) },
+		func() { New(1024, 1024, 1024, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,297 @@
+// Package cache implements the memory hierarchy of Table 1: per-core L1
+// instruction and data caches and a unified L2 shared across cores, backed by
+// a fixed-latency memory. It also models L2 bank and bus contention for the
+// full-CMP validation simulator (internal/fullsim).
+package cache
+
+import (
+	"fmt"
+
+	"gpm/internal/config"
+)
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelL2 means it missed L1 and hit the shared L2.
+	LevelL2
+	// LevelMemory means it missed the whole hierarchy.
+	LevelMemory
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	stamp uint64 // LRU timestamp
+}
+
+// Cache is one set-associative, LRU, write-allocate cache.
+type Cache struct {
+	sets      [][]line
+	setMask   uint64
+	blockBits uint
+	stamp     uint64
+
+	accesses   uint64
+	misses     uint64
+	writebacks uint64
+}
+
+// New builds a cache from the level parameters.
+func New(p config.CacheLevel) *Cache {
+	nSets := p.SizeBytes / (p.Assoc * p.BlockSize)
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: invalid set count %d", nSets))
+	}
+	c := &Cache{
+		sets:    make([][]line, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	lines := make([]line, nSets*p.Assoc)
+	for i := range c.sets {
+		c.sets[i] = lines[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+	}
+	for b := p.BlockSize; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	return c
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.blockBits
+	return blk & c.setMask, blk >> 0
+}
+
+// Access looks addr up as a read, updates LRU state, and fills on miss. It
+// returns whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	hit, _ := c.AccessRW(addr, false)
+	return hit
+}
+
+// AccessRW is Access with write intent (write-allocate, write-back): a write
+// marks the line dirty, and evicting a dirty line counts a writeback.
+func (c *Cache) AccessRW(addr uint64, write bool) (hit, writeback bool) {
+	c.accesses++
+	c.stamp++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].stamp = c.stamp
+			if write {
+				lines[i].dirty = true
+			}
+			return true, false
+		}
+		if !lines[i].valid {
+			victim = i
+			oldest = 0
+		} else if lines[i].stamp < oldest {
+			victim = i
+			oldest = lines[i].stamp
+		}
+	}
+	c.misses++
+	if lines[victim].valid && lines[victim].dirty {
+		writeback = true
+		c.writebacks++
+	}
+	lines[victim] = line{tag: tag, valid: true, dirty: write, stamp: c.stamp}
+	return false, writeback
+}
+
+// Probe reports whether addr is resident without touching LRU or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns lifetime access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// Writebacks returns how many dirty lines were evicted.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// ResetStats clears counters but keeps contents (used after warmup).
+func (c *Cache) ResetStats() { c.accesses, c.misses, c.writebacks = 0, 0, 0 }
+
+// SharedL2 is the chip-wide unified L2 with optional bank/bus contention
+// modeling. It is not safe for concurrent use; simulators drive all cores
+// from one goroutine (or shard per-chip).
+type SharedL2 struct {
+	c *Cache
+
+	banks        []uint64 // next cycle each bank is free
+	busFree      uint64   // next cycle the shared bus is free
+	busPerAccess uint64
+	bankMask     uint64
+	blockBits    uint
+
+	contended uint64 // accesses that waited
+	waitTotal uint64 // cycles waited
+}
+
+// NewSharedL2 builds the shared L2. banks and busPerAccess come from
+// config.MemoryHierarchy; contention is only charged through AccessAt.
+func NewSharedL2(p config.CacheLevel, banks, busPerAccess int) *SharedL2 {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic("cache: L2 bank count must be a positive power of two")
+	}
+	s := &SharedL2{
+		c:            New(p),
+		banks:        make([]uint64, banks),
+		busPerAccess: uint64(busPerAccess),
+		bankMask:     uint64(banks - 1),
+	}
+	for b := p.BlockSize; b > 1; b >>= 1 {
+		s.blockBits++
+	}
+	return s
+}
+
+// Access performs a contention-free lookup (used by the single-core
+// characterization runs, matching the paper's single-threaded Turandot step).
+func (s *SharedL2) Access(addr uint64) bool { return s.c.Access(addr) }
+
+// AccessAt performs a lookup at absolute cycle `now`, charging bank and bus
+// occupancy. It returns the hit outcome and the extra delay (cycles) the
+// access spends queueing before service starts.
+func (s *SharedL2) AccessAt(addr uint64, now uint64) (hit bool, wait uint64) {
+	bank := (addr >> s.blockBits) & s.bankMask
+	start := now
+	if s.banks[bank] > start {
+		start = s.banks[bank]
+	}
+	if s.busFree > start {
+		start = s.busFree
+	}
+	wait = start - now
+	// Bus is held for the transfer; the bank is busy for the access slot.
+	s.busFree = start + s.busPerAccess
+	s.banks[bank] = start + s.busPerAccess
+	if wait > 0 {
+		s.contended++
+		s.waitTotal += wait
+	}
+	return s.c.Access(addr), wait
+}
+
+// Stats exposes the underlying cache counters.
+func (s *SharedL2) Stats() (accesses, misses uint64) { return s.c.Stats() }
+
+// MissRate proxies the underlying cache.
+func (s *SharedL2) MissRate() float64 { return s.c.MissRate() }
+
+// Contention returns how many accesses queued and the total cycles spent
+// queueing.
+func (s *SharedL2) Contention() (contended, waitCycles uint64) {
+	return s.contended, s.waitTotal
+}
+
+// ResetStats clears all counters but keeps contents.
+func (s *SharedL2) ResetStats() {
+	s.c.ResetStats()
+	s.contended, s.waitTotal = 0, 0
+}
+
+// Hierarchy is one core's view of the memory system: private L1s over a
+// (possibly shared) L2.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *SharedL2
+}
+
+// NewHierarchy builds per-core L1s over the given shared L2.
+func NewHierarchy(m config.MemoryHierarchy, l2 *SharedL2) *Hierarchy {
+	return &Hierarchy{
+		L1I: New(m.L1I),
+		L1D: New(m.L1D),
+		L2:  l2,
+	}
+}
+
+// DataAccess classifies a data read. Contention is not charged; use
+// DataAccessAt in multi-core cycle simulation.
+func (h *Hierarchy) DataAccess(addr uint64) Level {
+	return h.DataAccessRW(addr, false)
+}
+
+// DataAccessRW classifies a data reference with write intent. L1 writebacks
+// are counted by the L1 (Writebacks); the drain traffic itself is absorbed
+// by write buffers and not charged as latency.
+func (h *Hierarchy) DataAccessRW(addr uint64, write bool) Level {
+	if hit, _ := h.L1D.AccessRW(addr, write); hit {
+		return LevelL1
+	}
+	if h.L2.Access(addr) {
+		return LevelL2
+	}
+	return LevelMemory
+}
+
+// DataAccessAt is DataAccessRW with L2 bank/bus contention at cycle now.
+func (h *Hierarchy) DataAccessAt(addr, now uint64) (Level, uint64) {
+	return h.DataAccessAtRW(addr, now, false)
+}
+
+// DataAccessAtRW adds write intent to DataAccessAt.
+func (h *Hierarchy) DataAccessAtRW(addr, now uint64, write bool) (Level, uint64) {
+	if hit, _ := h.L1D.AccessRW(addr, write); hit {
+		return LevelL1, 0
+	}
+	hit, wait := h.L2.AccessAt(addr, now)
+	if hit {
+		return LevelL2, wait
+	}
+	return LevelMemory, wait
+}
+
+// InstrFetch classifies an instruction fetch.
+func (h *Hierarchy) InstrFetch(pc uint64) Level {
+	if h.L1I.Access(pc) {
+		return LevelL1
+	}
+	if h.L2.Access(pc) {
+		return LevelL2
+	}
+	return LevelMemory
+}
+
+// ResetStats clears L1 counters (the shared L2 is reset by its owner).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+}

@@ -1,0 +1,338 @@
+// Package cmpsim is the trace-based CMP analysis tool of §3.1: it progresses
+// per-benchmark, per-mode characterizations (trace.Player) simultaneously on
+// N cores, updates statistics every delta-sim interval (50 µs), and lets the
+// global power manager (internal/core) reassign per-core modes at every
+// explore interval (500 µs), charging DVFS transition overheads as
+// synchronized stalls (§5.1).
+package cmpsim
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/modes"
+	"gpm/internal/thermal"
+	"gpm/internal/trace"
+	"gpm/internal/workload"
+)
+
+// Options configures one CMP simulation run.
+type Options struct {
+	// Budget returns the chip power budget in watts at simulated time t.
+	// Time-varying budgets model events like Fig 6's cooling failure.
+	Budget func(t time.Duration) float64
+	// Policy decides mode vectors at explore boundaries.
+	Policy core.Policy
+	// Predictor builds the §5.5 matrices. Zero value fields are filled from
+	// the library's plan and config.
+	Predictor core.Predictor
+	// MemBound optionally overrides the per-core memory-boundedness ranking;
+	// when nil it is derived from the profiles.
+	MemBound []float64
+	// Horizon optionally overrides cfg.Sim.Horizon.
+	Horizon time.Duration
+	// Thermal, when non-nil, closes the temperature loop: per-core
+	// temperatures integrate the simulated power draw, and the effective
+	// budget at each explore boundary becomes min(Budget(t), thermal
+	// budget). The governor's horizon should equal the explore interval.
+	Thermal *thermal.Governor
+}
+
+// Result captures a full run at delta-sim resolution.
+type Result struct {
+	Combo  workload.Combo
+	Policy string
+
+	// DeltaSim is the interval length of the series below.
+	DeltaSim time.Duration
+	// ChipPowerW[i] is average chip power over delta interval i.
+	ChipPowerW []float64
+	// CorePowerW[i][c] and CoreInstr[i][c] are per-core series.
+	CorePowerW [][]float64
+	CoreInstr  [][]float64
+	// BudgetW[i] is the budget in force during interval i.
+	BudgetW []float64
+	// Modes[k] is the vector in force during explore interval k.
+	Modes []modes.Vector
+
+	// Elapsed is the simulated wall time (horizon, or first completion).
+	Elapsed time.Duration
+	// FirstCompleted is the core whose benchmark finished first, or -1.
+	FirstCompleted int
+	// TotalInstr is aggregate committed instructions; PerCoreInstr splits it.
+	TotalInstr   float64
+	PerCoreInstr []float64
+	// EnergyJ is total chip energy over the run.
+	EnergyJ float64
+	// TransitionStall is the cumulative synchronized stall time.
+	TransitionStall time.Duration
+	// OvershootIntervals counts delta intervals whose average chip power
+	// exceeded the in-force budget (short excursions corrected at the next
+	// explore boundary, §5.5).
+	OvershootIntervals int
+	// MaxTempC[i] is the hottest core's temperature during delta interval i
+	// (only populated when Options.Thermal is set).
+	MaxTempC []float64
+}
+
+// AvgChipPowerW returns the run's average chip power.
+func (r *Result) AvgChipPowerW() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.EnergyJ / r.Elapsed.Seconds()
+}
+
+// MaxChipPowerW returns the maximum delta-interval chip power.
+func (r *Result) MaxChipPowerW() float64 {
+	var m float64
+	for _, p := range r.ChipPowerW {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// EnvelopePowerW returns the worst-case chip power envelope: the sum of each
+// core's maximum observed delta-interval power. Budgets are expressed as
+// fractions of this envelope — the power a designer must provision for
+// without global management (the "worst-case designs" §8 says dynamic
+// management avoids). It exceeds MaxChipPowerW because per-core peaks rarely
+// align, mirroring the paper's widening average-vs-peak gap (§1).
+func (r *Result) EnvelopePowerW() float64 {
+	if len(r.CorePowerW) == 0 {
+		return 0
+	}
+	n := len(r.CorePowerW[0])
+	var sum float64
+	for c := 0; c < n; c++ {
+		var m float64
+		for i := range r.CorePowerW {
+			if p := r.CorePowerW[i][c]; p > m {
+				m = p
+			}
+		}
+		sum += m
+	}
+	return sum
+}
+
+// MemBoundedness derives a [0,1] memory-boundedness score per benchmark in
+// the combo: 1 − (whole-program Eff-deepest degradation / frequency cut).
+// Frequency-insensitive (memory-bound) programs score near 1.
+func MemBoundedness(lib *trace.Library, combo workload.Combo) ([]float64, error) {
+	plan := lib.Plan()
+	deepest := modes.Mode(plan.NumModes() - 1)
+	cut := 1 - plan.FreqScale(deepest)
+	out := make([]float64, combo.Cores())
+	for i, name := range combo.Benchmarks {
+		pr, err := lib.Profile(name)
+		if err != nil {
+			return nil, err
+		}
+		_, tT := pr.WholeProgram(modes.Turbo)
+		_, tD := pr.WholeProgram(deepest)
+		deg := 1 - tT/tD
+		s := 1 - deg/cut
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Run simulates the combo under the given options.
+func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error) {
+	cfg := lib.Config()
+	plan := lib.Plan()
+	if opt.Policy == nil {
+		return nil, fmt.Errorf("cmpsim: no policy")
+	}
+	if opt.Budget == nil {
+		return nil, fmt.Errorf("cmpsim: no budget function")
+	}
+	players, err := lib.Players(combo)
+	if err != nil {
+		return nil, err
+	}
+	n := len(players)
+	memBound := opt.MemBound
+	if memBound == nil {
+		memBound, err = MemBoundedness(lib, combo)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pred := opt.Predictor
+	if pred.Plan.NumModes() == 0 {
+		pred.Plan = plan
+	}
+	if pred.ExploreSeconds == 0 {
+		pred.ExploreSeconds = cfg.Sim.Explore.Seconds()
+	}
+	mgr := core.NewManager(plan, opt.Policy, pred, n)
+
+	horizon := cfg.Sim.Horizon
+	if opt.Horizon > 0 {
+		horizon = opt.Horizon
+	}
+	deltaSec := cfg.Sim.DeltaSim.Seconds()
+	deltasPerExplore := cfg.DeltaPerExplore()
+	exploreSec := cfg.Sim.Explore.Seconds()
+
+	res := &Result{
+		Combo:          combo,
+		Policy:         opt.Policy.Name(),
+		DeltaSim:       cfg.Sim.DeltaSim,
+		FirstCompleted: -1,
+		PerCoreInstr:   make([]float64, n),
+	}
+
+	// Bootstrap sample: the local monitors report each core's behaviour at
+	// Turbo before the first decision.
+	current := modes.Uniform(n, modes.Turbo)
+	samples := make([]core.Sample, n)
+	for c, pl := range players {
+		e, in := pl.Peek(current[c], exploreSec)
+		samples[c] = core.Sample{PowerW: e / exploreSec, Instr: in}
+	}
+
+	lookahead := func(c int, m modes.Mode) (float64, float64) {
+		e, in := players[c].Peek(m, exploreSec)
+		return e / exploreSec, in
+	}
+
+	now := time.Duration(0)
+	done := false
+	for now < horizon && !done {
+		budget := opt.Budget(now)
+		if opt.Thermal != nil {
+			if tb := opt.Thermal.BudgetW(); tb < budget {
+				budget = tb
+			}
+		}
+		next := mgr.Step(budget, samples, lookahead, memBound)
+		stall := plan.MaxTransitionBetween(current, next)
+		// Per-core stall power: the worst-case endpoint of the transition
+		// (§5.1: execution halts, CPU power is still consumed).
+		stallPower := make([]float64, n)
+		for c := range players {
+			if players[c].Completed() {
+				continue
+			}
+			pOld, _ := players[c].Behavior(current[c])
+			pNew, _ := players[c].Behavior(next[c])
+			if pOld > pNew {
+				stallPower[c] = pOld
+			} else {
+				stallPower[c] = pNew
+			}
+		}
+		current = next
+		res.Modes = append(res.Modes, current.Clone())
+		res.TransitionStall += stall
+
+		stallLeft := stall.Seconds()
+		intervalPower := make([]float64, n)
+		intervalInstr := make([]float64, n)
+		for d := 0; d < deltasPerExplore && now < horizon; d++ {
+			rowP := make([]float64, n)
+			rowI := make([]float64, n)
+			var chip float64
+			st := stallLeft
+			if st > deltaSec {
+				st = deltaSec
+			}
+			stallLeft -= st
+			exec := deltaSec - st
+			for c, pl := range players {
+				var e, in float64
+				if !pl.Completed() {
+					e = stallPower[c] * st
+					if exec > 0 {
+						ee, ii := pl.Advance(current[c], exec)
+						e += ee
+						in = ii
+					}
+				}
+				rowP[c] = e / deltaSec
+				rowI[c] = in
+				chip += rowP[c]
+				intervalPower[c] += rowP[c]
+				intervalInstr[c] += in
+				res.PerCoreInstr[c] += in
+				res.TotalInstr += in
+				res.EnergyJ += e
+			}
+			if opt.Thermal != nil {
+				opt.Thermal.State().Step(rowP, cfg.Sim.DeltaSim)
+				res.MaxTempC = append(res.MaxTempC, opt.Thermal.State().MaxTemp())
+			}
+			res.CorePowerW = append(res.CorePowerW, rowP)
+			res.CoreInstr = append(res.CoreInstr, rowI)
+			res.ChipPowerW = append(res.ChipPowerW, chip)
+			res.BudgetW = append(res.BudgetW, budget)
+			if chip > budget*(1+1e-9) {
+				res.OvershootIntervals++
+			}
+			now += cfg.Sim.DeltaSim
+			// §5.1 termination: stop when the first benchmark completes.
+			for c, pl := range players {
+				if pl.Completed() {
+					res.FirstCompleted = c
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+		// Samples for the next decision: averages over the explore interval.
+		for c := range players {
+			samples[c] = core.Sample{
+				PowerW: intervalPower[c] / float64(deltasPerExplore),
+				Instr:  intervalInstr[c],
+				Done:   players[c].Completed(),
+			}
+		}
+	}
+	res.Elapsed = now
+	return res, nil
+}
+
+// FixedBudget returns a constant budget function.
+func FixedBudget(w float64) func(time.Duration) float64 {
+	return func(time.Duration) float64 { return w }
+}
+
+// StepBudget returns a budget that switches from w1 to w2 at time t.
+func StepBudget(w1, w2 float64, t time.Duration) func(time.Duration) float64 {
+	return func(now time.Duration) float64 {
+		if now < t {
+			return w1
+		}
+		return w2
+	}
+}
+
+// Unlimited returns an effectively infinite budget (all-Turbo baseline).
+func Unlimited() func(time.Duration) float64 {
+	return FixedBudget(1e12)
+}
+
+// Baseline runs the combo with every core pinned at Turbo and no budget;
+// experiments use it as the 100%-power, 100%-performance reference.
+func Baseline(lib *trace.Library, combo workload.Combo) (*Result, error) {
+	n := combo.Cores()
+	return Run(lib, combo, Options{
+		Budget: Unlimited(),
+		Policy: core.Fixed{Vector: modes.Uniform(n, modes.Turbo)},
+	})
+}

@@ -1,0 +1,252 @@
+// Package config holds the design parameters of the simulated processor and
+// chip multiprocessor, mirroring Table 1 of the paper ("Design parameters for
+// processor model"), plus the simulation time constants of §3.1/§5.1.
+//
+// All simulators and models in this repository are parameterized by these
+// structures so that a single Config value fully determines an experiment.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Core describes one POWER4/5-class out-of-order core (Table 1).
+type Core struct {
+	// DispatchWidth is the maximum instructions dispatched per cycle.
+	DispatchWidth int
+	// FetchWidth is the maximum instructions fetched per cycle.
+	FetchWidth int
+	// RetireWidth is the maximum instructions retired per cycle.
+	RetireWidth int
+	// InstructionQueue is the size of the unified instruction (issue) queue.
+	InstructionQueue int
+	// ReorderBuffer bounds the number of in-flight instructions.
+	ReorderBuffer int
+
+	// Reservation-station entries per cluster (Table 1: Mem 2x18, FIX 2x20,
+	// FP 2x5).
+	MemRS int // per LSU
+	FixRS int // per FXU
+	FPRS  int // per FPU
+
+	// Functional-unit counts (Table 1: 2 LSU, 2 FXU, 2 FPU, 1 BRU).
+	NumLSU int
+	NumFXU int
+	NumFPU int
+	NumBRU int
+
+	// Physical registers (Table 1: 80 GPR, 72 FPR).
+	GPR int
+	FPR int
+
+	// Branch predictor tables (entries): 16K bimodal, 16K gshare, 16K selector.
+	BimodalEntries  int
+	GshareEntries   int
+	SelectorEntries int
+	GshareHistory   int // global-history bits used by gshare
+
+	// MSHRs bounds outstanding L1D misses (memory-level parallelism).
+	MSHRs int
+
+	// Execution latencies in cycles at nominal frequency.
+	FXULatency        int
+	FPULatency        int
+	BRULatency        int
+	MispredictPenalty int
+}
+
+// CacheLevel describes one cache.
+type CacheLevel struct {
+	SizeBytes int
+	Assoc     int
+	BlockSize int
+	// LatencyCycles is the access latency in cycles at nominal (Turbo)
+	// frequency. When the core frequency is scaled by DVFS, latencies that
+	// belong to asynchronous domains (L2, memory) are rescaled in cycles; see
+	// MemoryHierarchy.ScaledLatency.
+	LatencyCycles int
+}
+
+// MemoryHierarchy mirrors the "Memory Hierarchy" block of Table 1.
+type MemoryHierarchy struct {
+	L1D CacheLevel
+	L1I CacheLevel
+	L2  CacheLevel // unified, shared across cores
+	// MemoryLatencyCycles is main-memory latency in cycles at nominal
+	// frequency (Table 1: 77 cycles).
+	MemoryLatencyCycles int
+	// L2Banks is the number of independently accessible L2 banks (used only
+	// by the full-CMP simulator to model bank conflicts).
+	L2Banks int
+	// L2BusCyclesPerAccess models shared-bus occupancy per L2 access in the
+	// full-CMP simulator.
+	L2BusCyclesPerAccess int
+}
+
+// Chip describes the CMP organization and electrical plan.
+type Chip struct {
+	NumCores int
+	// NominalVdd is the Turbo supply voltage in volts (§5.1: 1.300 V).
+	NominalVdd float64
+	// NominalFreqHz is the Turbo clock (≈1 GHz per §4's "100K cycles ≈
+	// 100 µs" identity).
+	NominalFreqHz float64
+	// TransitionRateVPerUs is the DVFS voltage ramp rate (§4: 10 mV/µs).
+	TransitionRateVPerUs float64
+}
+
+// Sim holds the time constants of the trace-based CMP analysis tool.
+type Sim struct {
+	// DeltaSim is the statistics-update granularity (§3.1: 50 µs).
+	DeltaSim time.Duration
+	// Explore is the global-manager decision interval (§3.1: 500 µs).
+	Explore time.Duration
+	// Horizon is the total simulated wall-clock time when no benchmark
+	// completes earlier (Fig 3 timelines span 60 ms).
+	Horizon time.Duration
+	// SampleInstructions is how many instructions the core simulator measures
+	// per (benchmark, phase, mode) sample when characterizing workloads.
+	// Instruction-based (not cycle-based) windows guarantee that every mode
+	// is characterized over the same program region, so inter-mode ratios are
+	// free of sampling noise.
+	SampleInstructions int
+	// WarmupInstructions are executed before measurement in each sample to
+	// warm caches and predictors.
+	WarmupInstructions int
+	// Seed drives every stochastic choice in workload generation.
+	Seed int64
+}
+
+// Config aggregates everything an experiment needs.
+type Config struct {
+	Core Core
+	Mem  MemoryHierarchy
+	Chip Chip
+	Sim  Sim
+}
+
+// Default returns the paper's configuration: Table 1 core and memory
+// hierarchy, §5.1 electrical plan, §3.1 time constants, for n cores.
+func Default(n int) Config {
+	return Config{
+		Core: Core{
+			DispatchWidth:     5,
+			FetchWidth:        8,
+			RetireWidth:       5,
+			InstructionQueue:  256,
+			ReorderBuffer:     256,
+			MemRS:             18,
+			FixRS:             20,
+			FPRS:              5,
+			NumLSU:            2,
+			NumFXU:            2,
+			NumFPU:            2,
+			NumBRU:            1,
+			GPR:               80,
+			FPR:               72,
+			BimodalEntries:    16384,
+			GshareEntries:     16384,
+			SelectorEntries:   16384,
+			GshareHistory:     14,
+			MSHRs:             8,
+			FXULatency:        1,
+			FPULatency:        4,
+			BRULatency:        1,
+			MispredictPenalty: 12,
+		},
+		Mem: MemoryHierarchy{
+			L1D:                  CacheLevel{SizeBytes: 32 * 1024, Assoc: 2, BlockSize: 128, LatencyCycles: 1},
+			L1I:                  CacheLevel{SizeBytes: 64 * 1024, Assoc: 2, BlockSize: 128, LatencyCycles: 1},
+			L2:                   CacheLevel{SizeBytes: 2 * 1024 * 1024, Assoc: 4, BlockSize: 128, LatencyCycles: 9},
+			MemoryLatencyCycles:  77,
+			L2Banks:              4,
+			L2BusCyclesPerAccess: 1,
+		},
+		Chip: Chip{
+			NumCores:             n,
+			NominalVdd:           1.300,
+			NominalFreqHz:        1e9,
+			TransitionRateVPerUs: 0.010,
+		},
+		Sim: Sim{
+			DeltaSim:           50 * time.Microsecond,
+			Explore:            500 * time.Microsecond,
+			Horizon:            60 * time.Millisecond,
+			SampleInstructions: 100000,
+			WarmupInstructions: 150000,
+			Seed:               20061209, // MICRO-39 dates; any fixed seed works
+		},
+	}
+}
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Chip.NumCores < 1 {
+		errs = append(errs, fmt.Errorf("config: NumCores = %d, want >= 1", c.Chip.NumCores))
+	}
+	if c.Core.DispatchWidth < 1 {
+		errs = append(errs, errors.New("config: DispatchWidth must be >= 1"))
+	}
+	if c.Core.NumLSU < 1 || c.Core.NumFXU < 1 || c.Core.NumBRU < 1 {
+		errs = append(errs, errors.New("config: need at least one LSU, FXU and BRU"))
+	}
+	if c.Core.MSHRs < 1 {
+		errs = append(errs, errors.New("config: need at least one MSHR"))
+	}
+	if c.Chip.NominalVdd <= 0 || c.Chip.NominalFreqHz <= 0 {
+		errs = append(errs, errors.New("config: nominal voltage and frequency must be positive"))
+	}
+	if c.Chip.TransitionRateVPerUs <= 0 {
+		errs = append(errs, errors.New("config: transition rate must be positive"))
+	}
+	if c.Sim.DeltaSim <= 0 || c.Sim.Explore <= 0 {
+		errs = append(errs, errors.New("config: delta-sim and explore intervals must be positive"))
+	}
+	if c.Sim.Explore%c.Sim.DeltaSim != 0 {
+		errs = append(errs, fmt.Errorf("config: explore (%v) must be a multiple of delta-sim (%v)", c.Sim.Explore, c.Sim.DeltaSim))
+	}
+	if c.Sim.Horizon < c.Sim.Explore {
+		errs = append(errs, errors.New("config: horizon shorter than one explore interval"))
+	}
+	for _, lv := range []struct {
+		name string
+		c    CacheLevel
+	}{{"L1D", c.Mem.L1D}, {"L1I", c.Mem.L1I}, {"L2", c.Mem.L2}} {
+		if err := lv.c.validate(lv.name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (l CacheLevel) validate(name string) error {
+	if l.SizeBytes <= 0 || l.Assoc <= 0 || l.BlockSize <= 0 {
+		return fmt.Errorf("config: %s: size, associativity and block size must be positive", name)
+	}
+	if l.SizeBytes%(l.Assoc*l.BlockSize) != 0 {
+		return fmt.Errorf("config: %s: size %d not divisible by assoc*block %d", name, l.SizeBytes, l.Assoc*l.BlockSize)
+	}
+	n := l.SizeBytes / (l.Assoc * l.BlockSize)
+	if n&(n-1) != 0 {
+		return fmt.Errorf("config: %s: number of sets %d is not a power of two", name, n)
+	}
+	if l.BlockSize&(l.BlockSize-1) != 0 {
+		return fmt.Errorf("config: %s: block size %d is not a power of two", name, l.BlockSize)
+	}
+	return nil
+}
+
+// DeltaPerExplore returns how many delta-sim intervals fit in one explore
+// interval (10 with the paper's constants).
+func (c Config) DeltaPerExplore() int {
+	return int(c.Sim.Explore / c.Sim.DeltaSim)
+}
+
+// CyclesPerDelta returns the number of nominal-frequency cycles in one
+// delta-sim interval (50 000 with the paper's constants).
+func (c Config) CyclesPerDelta() int {
+	return int(c.Sim.DeltaSim.Seconds() * c.Chip.NominalFreqHz)
+}

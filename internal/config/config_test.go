@@ -1,0 +1,110 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default(4)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// Table 1 core parameters.
+	if c.Core.DispatchWidth != 5 {
+		t.Errorf("dispatch rate %d, want 5 per Table 1", c.Core.DispatchWidth)
+	}
+	if c.Core.InstructionQueue != 256 {
+		t.Errorf("instruction queue %d, want 256", c.Core.InstructionQueue)
+	}
+	if c.Core.MemRS != 18 || c.Core.FixRS != 20 || c.Core.FPRS != 5 {
+		t.Errorf("reservation stations (%d,%d,%d), want (18,20,5)", c.Core.MemRS, c.Core.FixRS, c.Core.FPRS)
+	}
+	if c.Core.NumLSU != 2 || c.Core.NumFXU != 2 || c.Core.NumFPU != 2 || c.Core.NumBRU != 1 {
+		t.Error("functional units do not match Table 1 (2 LSU, 2 FXU, 2 FPU, 1 BRU)")
+	}
+	if c.Core.GPR != 80 || c.Core.FPR != 72 {
+		t.Errorf("physical registers (%d,%d), want (80,72)", c.Core.GPR, c.Core.FPR)
+	}
+	if c.Core.BimodalEntries != 16384 || c.Core.GshareEntries != 16384 || c.Core.SelectorEntries != 16384 {
+		t.Error("branch predictor tables are not 16K entries each")
+	}
+	// Table 1 memory hierarchy.
+	if c.Mem.L1D.SizeBytes != 32*1024 || c.Mem.L1D.Assoc != 2 || c.Mem.L1D.BlockSize != 128 || c.Mem.L1D.LatencyCycles != 1 {
+		t.Error("L1D does not match Table 1 (32KB, 2-way, 128B, 1 cycle)")
+	}
+	if c.Mem.L1I.SizeBytes != 64*1024 || c.Mem.L1I.Assoc != 2 {
+		t.Error("L1I does not match Table 1 (64KB, 2-way)")
+	}
+	if c.Mem.L2.SizeBytes != 2*1024*1024 || c.Mem.L2.Assoc != 4 || c.Mem.L2.LatencyCycles != 9 {
+		t.Error("L2 does not match Table 1 (2MB, 4-way, 9 cycles)")
+	}
+	if c.Mem.MemoryLatencyCycles != 77 {
+		t.Errorf("memory latency %d, want 77", c.Mem.MemoryLatencyCycles)
+	}
+	// §5.1 electrical plan and §3.1 time constants.
+	if c.Chip.NominalVdd != 1.300 {
+		t.Errorf("nominal Vdd %v, want 1.300", c.Chip.NominalVdd)
+	}
+	if c.Chip.TransitionRateVPerUs != 0.010 {
+		t.Errorf("ramp rate %v, want 10 mV/µs", c.Chip.TransitionRateVPerUs)
+	}
+	if c.Sim.DeltaSim != 50*time.Microsecond || c.Sim.Explore != 500*time.Microsecond {
+		t.Error("delta-sim/explore do not match §3.1 (50µs / 500µs)")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	c := Default(2)
+	if got := c.DeltaPerExplore(); got != 10 {
+		t.Errorf("DeltaPerExplore = %d, want 10", got)
+	}
+	if got := c.CyclesPerDelta(); got != 50000 {
+		t.Errorf("CyclesPerDelta = %d, want 50000 at 1 GHz", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		substr string
+	}{
+		{"zero cores", func(c *Config) { c.Chip.NumCores = 0 }, "NumCores"},
+		{"no dispatch", func(c *Config) { c.Core.DispatchWidth = 0 }, "DispatchWidth"},
+		{"no lsu", func(c *Config) { c.Core.NumLSU = 0 }, "LSU"},
+		{"bad voltage", func(c *Config) { c.Chip.NominalVdd = 0 }, "voltage"},
+		{"bad rate", func(c *Config) { c.Chip.TransitionRateVPerUs = -1 }, "transition rate"},
+		{"explore not multiple", func(c *Config) { c.Sim.Explore = 75 * time.Microsecond }, "multiple"},
+		{"short horizon", func(c *Config) { c.Sim.Horizon = time.Microsecond }, "horizon"},
+		{"odd cache sets", func(c *Config) { c.Mem.L1D.SizeBytes = 3000 }, "L1D"},
+		{"non-pow2 block", func(c *Config) { c.Mem.L2.BlockSize = 96 }, "L2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default(4)
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken config")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestValidateAggregatesMultipleErrors(t *testing.T) {
+	c := Default(4)
+	c.Chip.NumCores = 0
+	c.Chip.NominalVdd = 0
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "NumCores") || !strings.Contains(err.Error(), "voltage") {
+		t.Errorf("joined error %q missing one of the two failures", err)
+	}
+}

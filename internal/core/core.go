@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: the global CMP
+// power manager (§2) and its mode-selection machinery.
+//
+// At every explore interval the manager receives each core's observed
+// (power, committed instructions) for the previous interval, predicts the
+// Power and BIPS Matrices for all other modes analytically (§5.5 — cubic
+// power scaling, linear BIPS scaling, transition-cost derating), and asks a
+// Policy for the next per-core mode vector subject to the chip power budget.
+//
+// Policies implemented: MaxBIPS, Priority, PullHiPushLo, ChipWideDVFS (the
+// paper's four), the Oracle upper bound (§5.6), a Fixed vector used for
+// optimistic-static lower bounds (§5.7), plus two extensions the paper
+// motivates: GreedyMaxBIPS (near-optimal at 3^N-infeasible scales, §5.5's
+// state-space concern) and MinPower (the dual problem named in §1).
+package core
+
+import (
+	"fmt"
+
+	"gpm/internal/modes"
+)
+
+// Sample is one core's observation for the previous explore interval, as
+// reported by the on-core current sensors and performance counters (§2).
+type Sample struct {
+	// PowerW is the average core power over the interval in watts.
+	PowerW float64
+	// Instr is the number of instructions committed in the interval.
+	Instr float64
+	// Done reports that the core's program has completed; the manager parks
+	// finished cores in the deepest mode.
+	Done bool
+}
+
+// Matrices are the §5.5 Power and BIPS Matrices: predicted average power and
+// committed instructions for each (core, mode) pair over the next explore
+// interval, derived from the observed samples by design-time scaling laws.
+type Matrices struct {
+	// Power[c][m] is predicted average watts for core c in mode m.
+	Power [][]float64
+	// Instr[c][m] is predicted committed instructions for core c in mode m,
+	// including the transition-overhead derating when m differs from the
+	// core's current mode.
+	Instr [][]float64
+}
+
+// VectorPower sums predicted power across cores for mode vector v.
+func (mx Matrices) VectorPower(v modes.Vector) float64 {
+	var p float64
+	for c, m := range v {
+		p += mx.Power[c][m]
+	}
+	return p
+}
+
+// VectorInstr sums predicted instructions across cores for mode vector v.
+func (mx Matrices) VectorInstr(v modes.Vector) float64 {
+	var t float64
+	for c, m := range v {
+		t += mx.Instr[c][m]
+	}
+	return t
+}
+
+// Predictor converts observed samples into Matrices.
+type Predictor struct {
+	Plan modes.Plan
+	// PowerScale maps a mode to its total-power scale relative to Turbo. If
+	// nil, the pure cubic V²f law of §5.5 is used. A design-time law that
+	// folds in leakage (power.Model.ScaleLaw) reduces the residual error.
+	PowerScale func(m modes.Mode) float64
+	// ExploreSeconds is the decision interval length.
+	ExploreSeconds float64
+	// DerateTransitions applies the §5.5 scaling factors (e.g. 500/520) to
+	// BIPS predictions of mode changes.
+	DerateTransitions bool
+}
+
+func (p Predictor) scale(m modes.Mode) float64 {
+	if p.PowerScale != nil {
+		return p.PowerScale(m)
+	}
+	return p.Plan.PowerScale(m)
+}
+
+// Matrices builds the §5.5 matrices given each core's current mode and
+// observed sample. Completed cores predict zero power and zero instructions
+// in every mode.
+func (p Predictor) Matrices(current modes.Vector, samples []Sample) Matrices {
+	n := len(current)
+	if len(samples) != n {
+		panic(fmt.Sprintf("core: %d samples for %d cores", len(samples), n))
+	}
+	nm := p.Plan.NumModes()
+	mx := Matrices{
+		Power: make([][]float64, n),
+		Instr: make([][]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		mx.Power[c] = make([]float64, nm)
+		mx.Instr[c] = make([]float64, nm)
+		if samples[c].Done {
+			continue
+		}
+		cur := current[c]
+		// Normalize the observation to Turbo, then project to each mode.
+		pTurbo := samples[c].PowerW / p.scale(cur)
+		iTurbo := samples[c].Instr / p.Plan.FreqScale(cur)
+		for m := 0; m < nm; m++ {
+			mode := modes.Mode(m)
+			mx.Power[c][m] = pTurbo * p.scale(mode)
+			instr := iTurbo * p.Plan.FreqScale(mode)
+			if p.DerateTransitions && mode != cur && p.ExploreSeconds > 0 {
+				tr := p.Plan.TransitionTime(cur, mode).Seconds()
+				instr *= p.ExploreSeconds / (p.ExploreSeconds + tr)
+			}
+			mx.Instr[c][m] = instr
+		}
+	}
+	return mx
+}
+
+// Context is everything a policy may consult for one decision.
+type Context struct {
+	Plan modes.Plan
+	// Current is the mode vector in force during the sampled interval.
+	Current modes.Vector
+	// BudgetW is the chip power budget for the next interval in watts.
+	BudgetW float64
+	// Samples are the per-core observations for the last interval.
+	Samples []Sample
+	// Matrices are the §5.5 predictions derived from Samples.
+	Matrices Matrices
+	// Lookahead, when non-nil, returns the *actual* average power and
+	// instructions core c would produce over the next interval in mode m.
+	// Only oracle policies may use it (§5.6).
+	Lookahead func(c int, m modes.Mode) (powerW, instr float64)
+	// MemBound ranks cores by memory-boundedness in [0,1] (1 = most
+	// memory-bound); PullHiPushLo uses it as its preference order (§5.2.2).
+	MemBound []float64
+	// ExploreSeconds is the decision interval length, for policies that
+	// reason about transition overheads directly.
+	ExploreSeconds float64
+}
+
+// NumCores returns the width of the decision.
+func (ctx Context) NumCores() int { return len(ctx.Current) }
+
+// Policy selects the next mode vector. Implementations must be
+// deterministic and must not retain ctx.
+type Policy interface {
+	Name() string
+	Decide(ctx Context) modes.Vector
+}
+
+// Manager is the global power manager: it owns the current mode vector and
+// applies a policy at every explore boundary.
+type Manager struct {
+	plan      modes.Plan
+	policy    Policy
+	predictor Predictor
+	current   modes.Vector
+}
+
+// NewManager builds a manager for n cores, starting all cores at Turbo.
+func NewManager(plan modes.Plan, policy Policy, pred Predictor, n int) *Manager {
+	return &Manager{
+		plan:      plan,
+		policy:    policy,
+		predictor: pred,
+		current:   modes.Uniform(n, modes.Turbo),
+	}
+}
+
+// Current returns the mode vector currently in force.
+func (g *Manager) Current() modes.Vector { return g.current.Clone() }
+
+// SetCurrent overrides the mode vector (used when resuming or testing).
+func (g *Manager) SetCurrent(v modes.Vector) { g.current = v.Clone() }
+
+// Policy returns the active policy.
+func (g *Manager) Policy() Policy { return g.policy }
+
+// Step performs one explore-time decision: build matrices from samples,
+// consult the policy, sanitize and adopt the result. lookahead and memBound
+// may be nil.
+func (g *Manager) Step(budgetW float64, samples []Sample, lookahead func(int, modes.Mode) (float64, float64), memBound []float64) modes.Vector {
+	mx := g.predictor.Matrices(g.current, samples)
+	ctx := Context{
+		Plan:           g.plan,
+		Current:        g.current.Clone(),
+		BudgetW:        budgetW,
+		Samples:        samples,
+		Matrices:       mx,
+		Lookahead:      lookahead,
+		MemBound:       memBound,
+		ExploreSeconds: g.predictor.ExploreSeconds,
+	}
+	next := g.policy.Decide(ctx)
+	next = g.sanitize(next, samples)
+	g.current = next
+	return next.Clone()
+}
+
+// sanitize clamps a policy result to a legal vector and parks finished cores
+// in the deepest mode.
+func (g *Manager) sanitize(v modes.Vector, samples []Sample) modes.Vector {
+	n := len(g.current)
+	out := make(modes.Vector, n)
+	deepest := modes.Mode(g.plan.NumModes() - 1)
+	for i := 0; i < n; i++ {
+		m := modes.Turbo
+		if i < len(v) {
+			m = v[i]
+		}
+		if !g.plan.Valid(m) {
+			m = deepest
+		}
+		if i < len(samples) && samples[i].Done {
+			m = deepest
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// EnumerateVectors calls fn for every assignment of numModes modes to n
+// cores (numModes^n vectors). The buffer passed to fn is reused; clone it to
+// retain. Enumeration stops early if fn returns false.
+func EnumerateVectors(numModes, n int, fn func(modes.Vector) bool) {
+	v := make(modes.Vector, n)
+	for {
+		if !fn(v) {
+			return
+		}
+		// Odometer increment.
+		i := n - 1
+		for i >= 0 {
+			v[i]++
+			if int(v[i]) < numModes {
+				break
+			}
+			v[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/modes"
+	"gpm/internal/trace"
+	"gpm/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// A1: mode-count scaling. §5.3 argues chip-wide DVFS could close part of the
+// gap with more modes, but that mode count must scale with core count.
+// ---------------------------------------------------------------------------
+
+// ModeCountRow compares per-core MaxBIPS and chip-wide DVFS at one plan
+// granularity.
+type ModeCountRow struct {
+	Levels              int
+	BudgetFrac          float64
+	MaxBIPSDegradation  float64
+	ChipWideDegradation float64
+}
+
+// AblationModeCount sweeps the number of DVFS levels (k-level linear plans
+// down to the Eff2 point) at a fixed budget on the baseline 4-way combo.
+func (e *Env) AblationModeCount(levels []int, budgetFrac float64) ([]ModeCountRow, error) {
+	combo := workload.FourWay[0]
+	var rows []ModeCountRow
+	for _, k := range levels {
+		plan := modes.Linear(k, 0.85, e.Cfg.Chip.NominalVdd, e.Cfg.Chip.TransitionRateVPerUs)
+		env := NewEnvWith(e.Cfg)
+		env.Plan = plan
+		env.Lib = trace.NewLibrary(e.Cfg, e.Model, plan)
+		env.Budgets = []float64{budgetFrac}
+
+		base, err := env.Baseline(combo)
+		if err != nil {
+			return nil, err
+		}
+		row := ModeCountRow{Levels: k, BudgetFrac: budgetFrac}
+		for _, pol := range []core.Policy{core.MaxBIPS{}, core.ChipWideDVFS{}} {
+			res, _, err := env.RunPolicy(combo, pol, budgetFrac)
+			if err != nil {
+				return nil, err
+			}
+			deg := 1 - res.TotalInstr/base.TotalInstr
+			if pol.Name() == "MaxBIPS" {
+				row.MaxBIPSDegradation = deg
+			} else {
+				row.ChipWideDegradation = deg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// A2: explore-interval sensitivity. §4 bounds DVFS actuation to ≈100 µs
+// granularity; longer intervals amortize transitions but react later.
+// ---------------------------------------------------------------------------
+
+// ExploreIntervalRow is one setting of the A2 sweep.
+type ExploreIntervalRow struct {
+	Explore     time.Duration
+	Degradation float64
+	StallShare  float64 // transition stall / elapsed
+	Overshoot   float64 // fraction of delta intervals above budget
+}
+
+// AblationExploreInterval sweeps the manager's decision interval at a fixed
+// budget with MaxBIPS on the baseline 4-way combo.
+func (e *Env) AblationExploreInterval(intervals []time.Duration, budgetFrac float64) ([]ExploreIntervalRow, error) {
+	combo := workload.FourWay[0]
+	var rows []ExploreIntervalRow
+	for _, ex := range intervals {
+		cfg := e.Cfg
+		cfg.Sim.Explore = ex
+		if ex < cfg.Sim.DeltaSim {
+			cfg.Sim.DeltaSim = ex
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: explore %v: %w", ex, err)
+		}
+		env := NewEnvWith(cfg)
+		env.Budgets = []float64{budgetFrac}
+		base, err := env.Baseline(combo)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := env.RunPolicy(combo, core.MaxBIPS{}, budgetFrac)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExploreIntervalRow{
+			Explore:     ex,
+			Degradation: 1 - res.TotalInstr/base.TotalInstr,
+			StallShare:  res.TransitionStall.Seconds() / res.Elapsed.Seconds(),
+			Overshoot:   float64(res.OvershootIntervals) / float64(len(res.ChipPowerW)),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// A3: exhaustive vs greedy MaxBIPS under scale-out. §3.1 explores "2 to 64"
+// cores; §5.5 notes the exploration state space grows superlinearly.
+// ---------------------------------------------------------------------------
+
+// ScaleOutRow compares the two selectors at one width.
+type ScaleOutRow struct {
+	Cores int
+	// ExhaustiveDegradation is NaN-free only while 3^n stays tractable
+	// (n ≤ 10); wider chips report greedy only.
+	ExhaustiveDegradation float64
+	ExhaustiveRan         bool
+	GreedyDegradation     float64
+}
+
+// ReplicatedCombo tiles Table 2 benchmarks into an n-core combo for
+// scale-out studies beyond the paper's 8-way set.
+func ReplicatedCombo(n int) workload.Combo {
+	base := []string{"ammp", "mcf", "crafty", "art", "facerec", "gcc", "mesa", "vortex"}
+	b := make([]string, n)
+	for i := 0; i < n; i++ {
+		b[i] = base[i%len(base)]
+	}
+	return workload.Combo{ID: fmt.Sprintf("%dw-replicated", n), Benchmarks: b, Aggregate: "tiled Table 2 mix"}
+}
+
+// AblationScaleOut runs exhaustive (where tractable) and greedy MaxBIPS at
+// the given widths and budget.
+func (e *Env) AblationScaleOut(widths []int, budgetFrac float64) ([]ScaleOutRow, error) {
+	var rows []ScaleOutRow
+	for _, n := range widths {
+		combo := ReplicatedCombo(n)
+		cfg := e.Cfg
+		cfg.Chip.NumCores = n
+		env := NewEnvWith(cfg)
+		env.Lib = e.Lib // profiles are per-benchmark; share the cache
+		env.Budgets = []float64{budgetFrac}
+		base, err := env.Baseline(combo)
+		if err != nil {
+			return nil, err
+		}
+		row := ScaleOutRow{Cores: n}
+		if n <= 10 {
+			res, _, err := env.RunPolicy(combo, core.MaxBIPS{}, budgetFrac)
+			if err != nil {
+				return nil, err
+			}
+			row.ExhaustiveDegradation = 1 - res.TotalInstr/base.TotalInstr
+			row.ExhaustiveRan = true
+		}
+		res, _, err := env.RunPolicy(combo, core.GreedyMaxBIPS{}, budgetFrac)
+		if err != nil {
+			return nil, err
+		}
+		row.GreedyDegradation = 1 - res.TotalInstr/base.TotalInstr
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// A4: transition-rate sensitivity (Table 5's 10 mV/µs assumption).
+// ---------------------------------------------------------------------------
+
+// TransitionRateRow is one ramp-rate setting.
+type TransitionRateRow struct {
+	RateVPerUs  float64
+	TurboToEff2 time.Duration
+	Degradation float64
+	StallShare  float64
+}
+
+// AblationTransitionRate sweeps the DVFS ramp rate with MaxBIPS at a fixed
+// budget.
+func (e *Env) AblationTransitionRate(rates []float64, budgetFrac float64) ([]TransitionRateRow, error) {
+	combo := workload.FourWay[0]
+	var rows []TransitionRateRow
+	for _, r := range rates {
+		cfg := e.Cfg
+		cfg.Chip.TransitionRateVPerUs = r
+		env := NewEnvWith(cfg)
+		env.Budgets = []float64{budgetFrac}
+		base, err := env.Baseline(combo)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := env.RunPolicy(combo, core.MaxBIPS{}, budgetFrac)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TransitionRateRow{
+			RateVPerUs:  r,
+			TurboToEff2: env.Plan.MaxTransition(),
+			Degradation: 1 - res.TotalInstr/base.TotalInstr,
+			StallShare:  res.TransitionStall.Seconds() / res.Elapsed.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// A5: MinPower, the dual problem (§1): minimize power subject to a
+// throughput floor.
+// ---------------------------------------------------------------------------
+
+// MinPowerRow is one throughput-floor setting.
+type MinPowerRow struct {
+	TargetFrac  float64
+	Degradation float64
+	PowerSaving float64
+}
+
+// AblationMinPower sweeps the throughput floor with no budget pressure
+// (budget = 100%).
+func (e *Env) AblationMinPower(targets []float64) ([]MinPowerRow, error) {
+	combo := workload.FourWay[0]
+	base, err := e.Baseline(combo)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MinPowerRow
+	for _, tf := range targets {
+		res, _, err := e.RunPolicy(combo, core.MinPower{TargetFrac: tf}, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MinPowerRow{
+			TargetFrac:  tf,
+			Degradation: 1 - res.TotalInstr/base.TotalInstr,
+			PowerSaving: 1 - res.AvgChipPowerW()/base.AvgChipPowerW(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFigure5RatiosMeetTarget(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := e.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4*len(e.Budgets) {
+		t.Fatalf("got %d scatter points, want %d", len(pts), 4*len(e.Budgets))
+	}
+	// §5.4: per-core policies approach the 3:1 design target wherever
+	// degradation is non-trivial. PullHiPushLo gets a wider band: it
+	// balances *power*, and in this power model the hottest cores are the
+	// CPU-bound ones, so its slowdowns cost more throughput per watt — the
+	// fairness-vs-ratio trade §5.2.2 describes.
+	for _, p := range pts {
+		if p.Policy == "ChipWideDVFS" || p.PerfDegradation < 0.01 {
+			continue
+		}
+		floor := 2.5
+		if p.Policy == "PullHiPushLo" {
+			floor = 1.7
+		}
+		ratio := p.PowerSaving / p.PerfDegradation
+		if ratio < floor {
+			t.Errorf("%s at %.0f%%: savings:degradation %.1f below the target band", p.Policy, p.BudgetFrac*100, ratio)
+		}
+	}
+}
+
+func TestAblationModeCount(t *testing.T) {
+	e := env(t).ShortHorizon(10 * time.Millisecond)
+	rows, err := e.AblationModeCount([]int{3, 5}, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("levels %d: maxbips %5.2f%%  chipwide %5.2f%%", r.Levels, r.MaxBIPSDegradation*100, r.ChipWideDegradation*100)
+		if r.MaxBIPSDegradation > r.ChipWideDegradation+0.005 {
+			t.Errorf("%d levels: MaxBIPS behind chip-wide", r.Levels)
+		}
+		if r.MaxBIPSDegradation < -0.01 || r.ChipWideDegradation > 0.3 {
+			t.Errorf("%d levels: degradations implausible", r.Levels)
+		}
+	}
+}
+
+func TestAblationExploreInterval(t *testing.T) {
+	e := env(t).ShortHorizon(10 * time.Millisecond)
+	rows, err := e.AblationExploreInterval([]time.Duration{250 * time.Microsecond, time.Millisecond}, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("explore %v: deg %5.2f%%  stall %5.2f%%  overshoot %5.2f%%", r.Explore, r.Degradation*100, r.StallShare*100, r.Overshoot*100)
+		if r.Degradation < -0.01 || r.Degradation > 0.2 {
+			t.Errorf("explore %v: degradation %.3f implausible", r.Explore, r.Degradation)
+		}
+		if r.StallShare < 0 || r.StallShare > 0.1 {
+			t.Errorf("explore %v: stall share %.3f implausible", r.Explore, r.StallShare)
+		}
+	}
+}
+
+func TestAblationTransitionRate(t *testing.T) {
+	e := env(t).ShortHorizon(10 * time.Millisecond)
+	rows, err := e.AblationTransitionRate([]float64{0.005, 0.020}, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].TurboToEff2 <= rows[1].TurboToEff2 {
+		t.Error("slower ramp must mean longer transitions")
+	}
+	// A 4× ramp change should not blow up degradation at 500 µs explores
+	// (the paper's 1–4% overhead argument).
+	for _, r := range rows {
+		if r.Degradation > 0.10 {
+			t.Errorf("rate %.0f mV/µs: degradation %.3f implausible", r.RateVPerUs*1000, r.Degradation)
+		}
+	}
+}
+
+func TestAblationMinPowerMonotone(t *testing.T) {
+	e := env(t).ShortHorizon(10 * time.Millisecond)
+	rows, err := e.AblationMinPower([]float64{0.99, 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].PowerSaving <= rows[0].PowerSaving {
+		t.Errorf("lower throughput floor must buy more savings: %.3f vs %.3f", rows[1].PowerSaving, rows[0].PowerSaving)
+	}
+	for _, r := range rows {
+		t.Logf("floor %.0f%%: deg %5.2f%%  saving %5.2f%%", r.TargetFrac*100, r.Degradation*100, r.PowerSaving*100)
+		// The achieved degradation should be in the neighbourhood of what
+		// the floor permits (prediction error + jitter allow overshoot).
+		if r.Degradation > (1-r.TargetFrac)+0.05 {
+			t.Errorf("floor %.0f%%: degradation %.3f far beyond the floor", r.TargetFrac*100, r.Degradation)
+		}
+	}
+}
+
+func TestAblationScaleOutGreedyTracksExhaustive(t *testing.T) {
+	e := env(t).ShortHorizon(10 * time.Millisecond)
+	rows, err := e.AblationScaleOut([]int{4, 16}, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].ExhaustiveRan {
+		t.Fatal("exhaustive should run at 4 cores")
+	}
+	if rows[1].ExhaustiveRan {
+		t.Fatal("exhaustive should not run at 16 cores")
+	}
+	if gap := rows[0].GreedyDegradation - rows[0].ExhaustiveDegradation; gap > 0.01 {
+		t.Errorf("greedy trails exhaustive by %.3f at 4 cores", gap)
+	}
+	if rows[1].GreedyDegradation < -0.01 || rows[1].GreedyDegradation > 0.15 {
+		t.Errorf("16-core greedy degradation %.3f implausible", rows[1].GreedyDegradation)
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+
+	"gpm/internal/workload"
+)
+
+func TestCrossCheckPolicyRanking(t *testing.T) {
+	e := quickEnv(t)
+	res, err := e.CrossCheck(workload.FourWay[0], 0.75, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CrossCheckRow{}
+	for _, r := range res.Rows {
+		t.Logf("%-13s trace %6.2f%%  full-CMP %6.2f%%", r.Policy, r.TraceDeg*100, r.FullDeg*100)
+		byName[r.Policy] = r
+	}
+	mb, cw := byName["MaxBIPS"], byName["ChipWideDVFS"]
+	// The §3.1 consistency claim: both engines rank MaxBIPS ahead of
+	// chip-wide DVFS at a tight budget.
+	if mb.TraceDeg > cw.TraceDeg+0.005 {
+		t.Errorf("trace engine: MaxBIPS (%.3f) behind chip-wide (%.3f)", mb.TraceDeg, cw.TraceDeg)
+	}
+	if mb.FullDeg > cw.FullDeg+0.01 {
+		t.Errorf("cycle-level engine: MaxBIPS (%.3f) behind chip-wide (%.3f)", mb.FullDeg, cw.FullDeg)
+	}
+	// Degradations must be in a plausible band in both engines.
+	for _, r := range res.Rows {
+		if r.FullDeg < -0.05 || r.FullDeg > 0.40 {
+			t.Errorf("%s: full-CMP degradation %.3f implausible", r.Policy, r.FullDeg)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md), plus the
+// ablations the paper's discussion motivates. Each experiment is a pure
+// function from an Env to a typed result; internal/report renders results.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/cmpsim"
+	"gpm/internal/config"
+	"gpm/internal/core"
+	"gpm/internal/metrics"
+	"gpm/internal/modes"
+	"gpm/internal/power"
+	"gpm/internal/trace"
+	"gpm/internal/workload"
+)
+
+// DefaultBudgets is the x-axis of the paper's policy curves: 60%–100% of
+// maximum chip power in 5% steps.
+var DefaultBudgets = []float64{0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00}
+
+// Env bundles the configuration, models, and profile cache shared by all
+// experiments.
+type Env struct {
+	Cfg   config.Config
+	Model power.Model
+	Plan  modes.Plan
+	Lib   *trace.Library
+
+	// Budgets is the sweep used by curve experiments.
+	Budgets []float64
+
+	// baselines caches all-Turbo reference runs by combo ID.
+	baselines map[string]*cmpsim.Result
+}
+
+// NewEnv builds the default environment for n cores.
+func NewEnv(n int) *Env {
+	cfg := config.Default(n)
+	return NewEnvWith(cfg)
+}
+
+// NewEnvWith builds an environment from an explicit configuration.
+func NewEnvWith(cfg config.Config) *Env {
+	model := power.Default()
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+	return &Env{
+		Cfg:       cfg,
+		Model:     model,
+		Plan:      plan,
+		Lib:       trace.NewLibrary(cfg, model, plan),
+		Budgets:   DefaultBudgets,
+		baselines: make(map[string]*cmpsim.Result),
+	}
+}
+
+// Predictor returns the §5.5 predictor with the design-time power scale law.
+func (e *Env) Predictor() core.Predictor {
+	return core.Predictor{
+		Plan:              e.Plan,
+		PowerScale:        func(m modes.Mode) float64 { return e.Model.ScaleLaw(e.Plan, m) },
+		ExploreSeconds:    e.Cfg.Sim.Explore.Seconds(),
+		DerateTransitions: true,
+	}
+}
+
+// Baseline returns (and caches) the all-Turbo reference run for a combo.
+func (e *Env) Baseline(combo workload.Combo) (*cmpsim.Result, error) {
+	if r, ok := e.baselines[combo.ID]; ok {
+		return r, nil
+	}
+	r, err := cmpsim.Run(e.Lib, combo, cmpsim.Options{
+		Budget:  cmpsim.Unlimited(),
+		Policy:  core.Fixed{Vector: modes.Uniform(combo.Cores(), modes.Turbo)},
+		Horizon: e.Cfg.Sim.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.baselines[combo.ID] = r
+	return r, nil
+}
+
+// Run runs a policy with an arbitrary budget function under the
+// environment's horizon.
+func (e *Env) Run(combo workload.Combo, policy core.Policy, budget func(time.Duration) float64) (*cmpsim.Result, error) {
+	return cmpsim.Run(e.Lib, combo, cmpsim.Options{
+		Budget:    budget,
+		Policy:    policy,
+		Predictor: e.Predictor(),
+		Horizon:   e.Cfg.Sim.Horizon,
+	})
+}
+
+// RunPolicy runs a policy at a budget fraction of the combo's maximum
+// all-Turbo chip power.
+func (e *Env) RunPolicy(combo workload.Combo, policy core.Policy, budgetFrac float64) (*cmpsim.Result, *cmpsim.Result, error) {
+	base, err := e.Baseline(combo)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := e.Run(combo, policy, cmpsim.FixedBudget(budgetFrac*base.EnvelopePowerW()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, base, nil
+}
+
+// PolicyCurve holds one policy's sweep over budgets for one combo: the
+// Fig 4/7/8/9/10 quantities.
+type PolicyCurve struct {
+	Policy  string
+	ComboID string
+	// Budgets are fractions of maximum chip power.
+	Budgets []float64
+	// Degradation[i] is throughput loss vs all-Turbo at Budgets[i].
+	Degradation []float64
+	// WeightedSlowdown[i] is 1 − harmonic mean of per-thread speedups.
+	WeightedSlowdown []float64
+	// BudgetFit[i] is average chip power / budget (budget-curve value).
+	BudgetFit []float64
+	// PowerSaving[i] is 1 − average chip power / all-Turbo average power
+	// (the Fig 5 x-axis).
+	PowerSaving []float64
+}
+
+// Curve sweeps a policy across e.Budgets for a combo. staticOracle handles
+// the Fixed-vector lower bound separately (see static.go).
+func (e *Env) Curve(combo workload.Combo, policy core.Policy) (*PolicyCurve, error) {
+	base, err := e.Baseline(combo)
+	if err != nil {
+		return nil, err
+	}
+	pc := &PolicyCurve{Policy: policy.Name(), ComboID: combo.ID, Budgets: e.Budgets}
+	for _, b := range e.Budgets {
+		res, _, err := e.RunPolicy(combo, policy, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := pc.append(res, base, b); err != nil {
+			return nil, err
+		}
+	}
+	return pc, nil
+}
+
+func (pc *PolicyCurve) append(res, base *cmpsim.Result, budgetFrac float64) error {
+	pc.Degradation = append(pc.Degradation, metrics.Degradation(res.TotalInstr, base.TotalInstr))
+	sp, err := metrics.PerThreadSpeedups(res.PerCoreInstr, base.PerCoreInstr)
+	if err != nil {
+		return err
+	}
+	pc.WeightedSlowdown = append(pc.WeightedSlowdown, metrics.WeightedSlowdown(sp))
+	pc.BudgetFit = append(pc.BudgetFit, metrics.BudgetFit(res.AvgChipPowerW(), budgetFrac*base.EnvelopePowerW()))
+	pc.PowerSaving = append(pc.PowerSaving, 1-res.AvgChipPowerW()/base.AvgChipPowerW())
+	return nil
+}
+
+// ShortHorizon returns a copy of the environment with a reduced simulation
+// horizon — used by tests and quick CLI runs. Profiles are re-characterized
+// lazily (the library is shared only when the config matches).
+func (e *Env) ShortHorizon(h time.Duration) *Env {
+	cfg := e.Cfg
+	cfg.Sim.Horizon = h
+	out := NewEnvWith(cfg)
+	out.Budgets = e.Budgets
+	// Characterization does not depend on the horizon, so the profile cache
+	// can be shared.
+	out.Lib = e.Lib
+	return out
+}
+
+// comboForWidth fetches the Table 2 combos for a width with context in the
+// error.
+func comboForWidth(n int) ([]workload.Combo, error) {
+	cs, err := workload.Combos(n)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return cs, nil
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpm/internal/workload"
+)
+
+// sharedEnv caches one full-horizon environment across tests in this package
+// (characterization is the dominant cost and is reused via the library).
+var sharedEnv *Env
+
+func env(t testing.TB) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		sharedEnv = NewEnv(4)
+	}
+	return sharedEnv
+}
+
+// quickEnv trims horizon and budget grid for sweep-heavy tests.
+func quickEnv(t testing.TB) *Env {
+	e := env(t).ShortHorizon(15 * time.Millisecond)
+	e.Budgets = []float64{0.65, 0.80, 0.95}
+	return e
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	rows := Table4(env(t).Plan)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Eff1: 1 − 0.95³ ≈ 14.26% savings, 5% degradation.
+	if math.Abs(rows[1].PowerSavings-0.1426) > 0.001 {
+		t.Errorf("Eff1 savings %.4f, want ≈0.1426", rows[1].PowerSavings)
+	}
+	if math.Abs(rows[1].PerfDegradation-0.05) > 1e-9 {
+		t.Errorf("Eff1 degradation %.4f, want 0.05", rows[1].PerfDegradation)
+	}
+	// Eff2: 1 − 0.85³ ≈ 38.59% savings, 15% degradation.
+	if math.Abs(rows[2].PowerSavings-0.3859) > 0.001 {
+		t.Errorf("Eff2 savings %.4f, want ≈0.3859", rows[2].PowerSavings)
+	}
+	if math.Abs(rows[2].PerfDegradation-0.15) > 1e-9 {
+		t.Errorf("Eff2 degradation %.4f, want 0.15", rows[2].PerfDegradation)
+	}
+	// Both efficiency modes approach the 3:1 target.
+	for _, r := range rows[1:] {
+		if r.SavingsPerDegrade < 2.5 {
+			t.Errorf("%s savings:degradation %.2f below target band", r.Mode, r.SavingsPerDegrade)
+		}
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	rows := Table5(env(t).Plan)
+	want := map[string]time.Duration{
+		"Turbo->Eff1": 6500 * time.Nanosecond,
+		"Eff1->Eff2":  13000 * time.Nanosecond,
+		"Turbo->Eff2": 19500 * time.Nanosecond,
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d transitions, want 3", len(rows))
+	}
+	for _, r := range rows {
+		key := r.From + "->" + r.To
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected transition %s", key)
+			continue
+		}
+		if d := r.Overhead - w; d > time.Nanosecond || d < -time.Nanosecond {
+			t.Errorf("%s overhead %v, want %v", key, r.Overhead, w)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	entries, err := env(t).Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Figure2Entry{}
+	for _, en := range entries {
+		byKey[en.Benchmark+"/"+en.Mode] = en
+	}
+	six := byKey["sixtrack/Eff2"]
+	mcf := byKey["mcf/Eff2"]
+	all := byKey["overall/Eff2"]
+	// Fig 2 corners: sixtrack near the 15% frequency cut, mcf far below,
+	// overall in between; Eff2 savings in the ≈35–40% band everywhere.
+	if six.PerfDegradation < 0.10 {
+		t.Errorf("sixtrack Eff2 degradation %.3f, want >= 0.10", six.PerfDegradation)
+	}
+	if mcf.PerfDegradation > 0.05 {
+		t.Errorf("mcf Eff2 degradation %.3f, want <= 0.05", mcf.PerfDegradation)
+	}
+	if !(mcf.PerfDegradation < all.PerfDegradation && all.PerfDegradation < six.PerfDegradation) {
+		t.Errorf("ordering violated: mcf %.3f, overall %.3f, sixtrack %.3f",
+			mcf.PerfDegradation, all.PerfDegradation, six.PerfDegradation)
+	}
+	for _, en := range []Figure2Entry{six, mcf, all} {
+		if en.PowerSavings < 0.30 || en.PowerSavings > 0.45 {
+			t.Errorf("%s Eff2 savings %.3f outside [0.30,0.45]", en.Benchmark, en.PowerSavings)
+		}
+	}
+}
+
+func TestFigure3ChipWideVsMaxBIPS(t *testing.T) {
+	e := env(t).ShortHorizon(15 * time.Millisecond)
+	series, err := e.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d panels, want 4", len(series))
+	}
+	get := func(combo, policy string) Figure3Series {
+		for _, s := range series {
+			if s.ComboID == combo && s.Policy == policy {
+				return s
+			}
+		}
+		t.Fatalf("panel %s/%s missing", combo, policy)
+		return Figure3Series{}
+	}
+	base := workload.FourWay[0].ID
+	alt := workload.Fig3Alternate.ID
+	for _, combo := range []string{base, alt} {
+		cw := get(combo, "ChipWideDVFS")
+		mb := get(combo, "MaxBIPS")
+		if mb.Degradation > cw.Degradation+1e-9 {
+			t.Errorf("%s: MaxBIPS degradation %.3f worse than chip-wide %.3f", combo, mb.Degradation, cw.Degradation)
+		}
+		if mb.AvgPowerFrac > Fig3Budget*1.01 {
+			t.Errorf("%s: MaxBIPS average power %.3f exceeds the 83%% budget", combo, mb.AvgPowerFrac)
+		}
+		t.Logf("%s: chipwide deg %.2f%% pwr %.0f%%; maxbips deg %.2f%% pwr %.0f%%",
+			combo, cw.Degradation*100, cw.AvgPowerFrac*100, mb.Degradation*100, mb.AvgPowerFrac*100)
+	}
+	// Fig 3(c): swapping mcf for sixtrack makes chip-wide DVFS much worse,
+	// while MaxBIPS stays efficient.
+	cwAlt := get(alt, "ChipWideDVFS")
+	mbAlt := get(alt, "MaxBIPS")
+	if cwAlt.Degradation < mbAlt.Degradation+0.01 {
+		t.Errorf("alt combo: expected chip-wide (%.3f) to trail MaxBIPS (%.3f) clearly", cwAlt.Degradation, mbAlt.Degradation)
+	}
+}
+
+func TestFigure4CurvesMonotoneAndOrdered(t *testing.T) {
+	e := quickEnv(t)
+	f4, err := e.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Curves) != 4 {
+		t.Fatalf("got %d curves, want 4", len(f4.Curves))
+	}
+	find := func(name string) *PolicyCurve {
+		for _, c := range f4.Curves {
+			if c.Policy == name {
+				return c
+			}
+		}
+		t.Fatalf("curve %s missing", name)
+		return nil
+	}
+	mb := find("MaxBIPS")
+	cw := find("ChipWideDVFS")
+	for i := range mb.Budgets {
+		if mb.Degradation[i] > cw.Degradation[i]+0.005 {
+			t.Errorf("budget %.0f%%: MaxBIPS %.3f worse than chip-wide %.3f", mb.Budgets[i]*100, mb.Degradation[i], cw.Degradation[i])
+		}
+		if mb.BudgetFit[i] > 1.01 {
+			t.Errorf("budget %.0f%%: MaxBIPS consumed %.3f of budget", mb.Budgets[i]*100, mb.BudgetFit[i])
+		}
+	}
+	// Degradation should broadly decrease as the budget loosens.
+	for _, c := range f4.Curves {
+		if c.Degradation[0] < c.Degradation[len(c.Degradation)-1]-0.005 {
+			t.Errorf("%s: degradation grows with budget (%.3f at %.0f%% vs %.3f at %.0f%%)",
+				c.Policy, c.Degradation[0], c.Budgets[0]*100, c.Degradation[len(c.Degradation)-1], c.Budgets[len(c.Budgets)-1]*100)
+		}
+	}
+}
+
+func TestFigure7OracleAndStaticBounds(t *testing.T) {
+	e := quickEnv(t)
+	f7, err := e.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) *PolicyCurve {
+		for _, c := range f7.Curves {
+			if c.Policy == name {
+				return c
+			}
+		}
+		t.Fatalf("curve %s missing", name)
+		return nil
+	}
+	mb := find("MaxBIPS")
+	or := find("Oracle")
+	st := find("Static")
+	for i := range mb.Budgets {
+		if mb.Degradation[i]-or.Degradation[i] > 0.015 {
+			t.Errorf("budget %.0f%%: MaxBIPS %.3f more than 1.5%% behind oracle %.3f",
+				mb.Budgets[i]*100, mb.Degradation[i], or.Degradation[i])
+		}
+		if st.Degradation[i] < or.Degradation[i]-0.01 {
+			t.Errorf("budget %.0f%%: static %.3f implausibly beats oracle %.3f", mb.Budgets[i]*100, st.Degradation[i], or.Degradation[i])
+		}
+		t.Logf("budget %.0f%%: oracle %.3f maxbips %.3f static %.3f",
+			mb.Budgets[i]*100, or.Degradation[i], mb.Degradation[i], st.Degradation[i])
+	}
+}
+
+func TestFigure6BudgetDrop(t *testing.T) {
+	e := env(t).ShortHorizon(15 * time.Millisecond)
+	f6, err := e.Figure6(7 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.AvgBIPSAfter >= f6.AvgBIPSBefore {
+		t.Errorf("BIPS did not drop with the budget: before %.3f, after %.3f", f6.AvgBIPSBefore, f6.AvgBIPSAfter)
+	}
+	if f6.AvgBIPSBefore < 0.90 {
+		t.Errorf("90%%-budget region BIPS %.3f implausibly low", f6.AvgBIPSBefore)
+	}
+	// Power must respect the 70% budget after the drop.
+	for i, t1 := range f6.TimeUs {
+		if t1 <= f6.DropAtUs+1000 {
+			continue
+		}
+		var chip float64
+		for c := range f6.CorePowerFrac {
+			chip += f6.CorePowerFrac[c][i]
+		}
+		if chip > 0.70*1.05 {
+			t.Errorf("t=%.0fµs: chip power %.3f exceeds 70%% budget", t1, chip)
+		}
+	}
+}
+
+func TestStaticSelectRespectsBudget(t *testing.T) {
+	e := quickEnv(t)
+	combo := workload.FourWay[0]
+	base, err := e.Baseline(combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepest := e.Plan.NumModes() - 1
+	for _, b := range []float64{0.6, 0.8, 1.0} {
+		choice, err := e.StaticSelect(combo, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.PredictedPowerW > b*base.EnvelopePowerW()*1.001 {
+			// A static assignment cannot throttle below the deepest mode; the
+			// only acceptable over-budget outcome is that floor (budgets
+			// tighter than the Eff2 scale are statically infeasible).
+			for c, m := range choice.Vector {
+				if int(m) != deepest {
+					t.Errorf("budget %.0f%%: choice over budget (%.1f W > %.1f W) but core %d not at deepest mode",
+						b*100, choice.PredictedPowerW, b*base.EnvelopePowerW(), c)
+				}
+			}
+		}
+	}
+	// At 100% budget the static oracle must pick all-Turbo.
+	choice, err := e.StaticSelect(combo, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, m := range choice.Vector {
+		if m != 0 {
+			t.Errorf("100%% budget: core %d statically assigned mode %d, want Turbo", c, m)
+		}
+	}
+}
+
+func TestValidationFullCMP(t *testing.T) {
+	e := env(t)
+	v, err := e.Validation(workload.FourWay[0], 2_000_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range v.Rows {
+		t.Logf("%-8s ST: %5.1fW ipc %5.3f | CMP: %5.1fW ipc %5.3f | dP %+5.1f%% dIPC %+5.1f%%",
+			r.Benchmark, r.STPowerW, r.STIPC, r.CMPPowerW, r.CMPIPC, r.PowerDelta*100, r.IPCDelta*100)
+	}
+	t.Logf("mean power drop %.1f%%, mean IPC drop %.1f%%, L2 wait %d cycles", v.MeanPowerDrop*100, v.MeanIPCDrop*100, v.L2WaitCycles)
+	// §3.1 claims: CMP power within ~5% of single-threaded and consistently
+	// lower; CMP IPC lower due to conflicts.
+	if v.MeanPowerDrop < -0.02 || v.MeanPowerDrop > 0.15 {
+		t.Errorf("mean power drop %.3f outside the validation band", v.MeanPowerDrop)
+	}
+	if v.MeanIPCDrop < 0 {
+		t.Errorf("CMP IPC unexpectedly higher than single-threaded on average (%.3f)", v.MeanIPCDrop)
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationSelectors(t *testing.T) {
+	e := quickEnv(t)
+	rows, err := e.AblationSelectors(8, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d selector rows, want 4 (exhaustive + 3 extensions)", len(rows))
+	}
+	var exhaustive, stable *SelectorRow
+	for i := range rows {
+		r := &rows[i]
+		t.Logf("%-16s deg %5.2f%%  fit %5.1f%%  stall %5.2f%%  overshoot %4.1f%%",
+			r.Policy, r.Degradation*100, r.BudgetFit*100, r.StallShare*100, r.Overshoot*100)
+		if r.Degradation < -0.01 || r.Degradation > 0.25 {
+			t.Errorf("%s: degradation %.3f implausible", r.Policy, r.Degradation)
+		}
+		switch r.Policy {
+		case "MaxBIPS":
+			exhaustive = r
+		case "StableMaxBIPS":
+			stable = r
+		}
+	}
+	if exhaustive == nil || stable == nil {
+		t.Fatal("expected both MaxBIPS and StableMaxBIPS rows")
+	}
+	// The hysteresis variant exists to cut transition stalls.
+	if stable.StallShare > exhaustive.StallShare+1e-9 {
+		t.Errorf("StableMaxBIPS stall share %.4f not below plain MaxBIPS %.4f",
+			stable.StallShare, exhaustive.StallShare)
+	}
+	// All selectors must stay within a small quality gap of exhaustive.
+	for _, r := range rows {
+		if r.Degradation-exhaustive.Degradation > 0.02 {
+			t.Errorf("%s degradation %.3f more than 2%% behind exhaustive %.3f",
+				r.Policy, r.Degradation, exhaustive.Degradation)
+		}
+	}
+}
+
+func TestThermalGovernance(t *testing.T) {
+	e := env(t).ShortHorizon(20 * time.Millisecond)
+	// Limits must stay above the all-Eff2 steady-state floor (≈76 °C with
+	// this experiment's Rth scaling): below it no DVFS assignment can hold
+	// the limit.
+	res, err := e.Thermal([]float64{85, 82, 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UngovernedMaxTempC <= 85 {
+		t.Fatalf("test premise broken: ungoverned run peaks at %.1f°C, wanted a thermally stressed setup", res.UngovernedMaxTempC)
+	}
+	prevDeg := -1.0
+	for _, r := range res.Rows {
+		t.Logf("limit %3.0f°C: max temp %5.1f°C, degradation %5.2f%%, avg power %5.1f W",
+			r.LimitC, r.MaxTempC, r.Degradation*100, r.AvgPowerW)
+		if r.MaxTempC > r.LimitC+1.5 {
+			t.Errorf("limit %.0f°C: governed run peaked at %.1f°C", r.LimitC, r.MaxTempC)
+		}
+		// Tighter limits must cost at least as much performance.
+		if r.Degradation+0.005 < prevDeg {
+			t.Errorf("limit %.0f°C: degradation %.3f decreased with a tighter limit", r.LimitC, r.Degradation)
+		}
+		prevDeg = r.Degradation
+	}
+}

@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/metrics"
+	"gpm/internal/modes"
+	"gpm/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// A8: OS-rescheduled static management. §5.7 observes that without oracle
+// knowledge "the OS can realize a bad core-benchmark assignment at the end
+// of a context interval and can switch tasks at the expense of cache
+// affinity", whereas MaxBIPS is indifferent to pairings. This experiment
+// implements that middle ground: the per-core mode *multiset* is fixed (a
+// static heterogeneous configuration à la Ghiasi), but at every OS quantum
+// the scheduler re-permutes benchmarks across the mode slots based on the
+// rates it observed, paying a cache-affinity penalty after each migration.
+// ---------------------------------------------------------------------------
+
+// SchedOptions parameterizes the OS-rescheduling model.
+type SchedOptions struct {
+	// Quantum is the OS context interval (default 10 ms).
+	Quantum time.Duration
+	// AffinityPenalty is the fractional rate loss a migrated thread suffers
+	// while its cache state rebuilds (default 0.30).
+	AffinityPenalty float64
+	// PenaltyWindow is how long the penalty lasts after a migration
+	// (default 1 ms).
+	PenaltyWindow time.Duration
+}
+
+func (o *SchedOptions) defaults() {
+	if o.Quantum == 0 {
+		o.Quantum = 10 * time.Millisecond
+	}
+	if o.AffinityPenalty == 0 {
+		o.AffinityPenalty = 0.30
+	}
+	if o.PenaltyWindow == 0 {
+		o.PenaltyWindow = time.Millisecond
+	}
+}
+
+// SchedRow compares the three §5.7 management styles at one budget.
+type SchedRow struct {
+	BudgetFrac float64
+	// StaticDeg is the optimistic static bound (oracle pairing, no moves).
+	StaticDeg float64
+	// ReschedDeg is static modes + OS re-permutation with affinity costs.
+	ReschedDeg float64
+	// Migrations counts thread moves in the rescheduled run.
+	Migrations int
+	// MaxBIPSDeg is the dynamic policy for reference.
+	MaxBIPSDeg float64
+}
+
+// SchedCompare runs the comparison on the baseline 4-way combo.
+func (e *Env) SchedCompare(budgets []float64, opt SchedOptions) ([]SchedRow, error) {
+	opt.defaults()
+	combo := workload.FourWay[0]
+	base, err := e.Baseline(combo)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SchedRow
+	for _, b := range budgets {
+		row := SchedRow{BudgetFrac: b}
+
+		choice, err := e.StaticSelect(combo, b)
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := e.RunPolicy(combo, core.Fixed{Vector: choice.Vector}, b)
+		if err != nil {
+			return nil, err
+		}
+		row.StaticDeg = metrics.Degradation(st.TotalInstr, base.TotalInstr)
+
+		mb, _, err := e.RunPolicy(combo, core.MaxBIPS{}, b)
+		if err != nil {
+			return nil, err
+		}
+		row.MaxBIPSDeg = metrics.Degradation(mb.TotalInstr, base.TotalInstr)
+
+		instr, migrations, err := e.runRescheduled(combo, choice.Vector, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.ReschedDeg = metrics.Degradation(instr, base.TotalInstr)
+		row.Migrations = migrations
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runRescheduled simulates the OS model directly on trace players: the mode
+// multiset is fixed; at each quantum boundary the scheduler assigns the
+// observed-fastest thread to the fastest mode slot (and so on down), and any
+// thread whose slot changed pays the affinity penalty for PenaltyWindow.
+func (e *Env) runRescheduled(combo workload.Combo, slots modes.Vector, opt SchedOptions) (totalInstr float64, migrations int, err error) {
+	players, err := e.Lib.Players(combo)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(players)
+	// assignment[i] is the mode-slot index currently running thread i.
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+	penaltyLeft := make([]float64, n) // seconds of degraded cache affinity
+
+	delta := e.Cfg.Sim.DeltaSim.Seconds()
+	horizon := e.Cfg.Sim.Horizon
+	quantumDeltas := int(opt.Quantum / e.Cfg.Sim.DeltaSim)
+	if quantumDeltas < 1 {
+		quantumDeltas = 1
+	}
+
+	observed := make([]float64, n) // instructions in the current quantum
+	d := 0
+	for now := time.Duration(0); now < horizon; now += e.Cfg.Sim.DeltaSim {
+		for i, pl := range players {
+			if pl.Completed() {
+				continue
+			}
+			mode := slots[assignment[i]]
+			eff := delta
+			if penaltyLeft[i] > 0 {
+				// The affinity penalty throttles effective progress.
+				pen := penaltyLeft[i]
+				if pen > delta {
+					pen = delta
+				}
+				eff = delta - pen*opt.AffinityPenalty
+				penaltyLeft[i] -= delta
+				if penaltyLeft[i] < 0 {
+					penaltyLeft[i] = 0
+				}
+			}
+			_, in := pl.Advance(mode, eff)
+			totalInstr += in
+			observed[i] += in
+		}
+		d++
+		if d%quantumDeltas == 0 {
+			// OS decision: rank threads by observed rate, give the fastest
+			// thread the fastest slot (greedy throughput matching without
+			// future knowledge).
+			order := argsortDesc(observed)
+			slotOrder := argsortSlotsFastestFirst(e, slots)
+			newAssign := make([]int, n)
+			for rank, thread := range order {
+				newAssign[thread] = slotOrder[rank]
+			}
+			for i := range newAssign {
+				if newAssign[i] != assignment[i] {
+					migrations++
+					penaltyLeft[i] = opt.PenaltyWindow.Seconds()
+				}
+				assignment[i] = newAssign[i]
+				observed[i] = 0
+			}
+		}
+	}
+	return totalInstr, migrations, nil
+}
+
+// argsortDesc returns indices of xs sorted descending by value
+// (deterministic: ties break toward lower index).
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if xs[b] > xs[a] {
+				idx[j-1], idx[j] = b, a
+			}
+		}
+	}
+	return idx
+}
+
+// argsortSlotsFastestFirst orders slot indices from fastest to slowest mode.
+func argsortSlotsFastestFirst(e *Env, slots modes.Vector) []int {
+	idx := make([]int, len(slots))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if e.Plan.FreqScale(slots[b]) > e.Plan.FreqScale(slots[a]) {
+				idx[j-1], idx[j] = b, a
+			}
+		}
+	}
+	return idx
+}

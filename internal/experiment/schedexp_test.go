@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestSchedCompare(t *testing.T) {
+	e := quickEnv(t)
+	rows, err := e.SchedCompare([]float64{0.70, 0.85}, SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("budget %.0f%%: static %5.2f%%  resched %5.2f%% (%d migrations)  maxbips %5.2f%%",
+			r.BudgetFrac*100, r.StaticDeg*100, r.ReschedDeg*100, r.Migrations, r.MaxBIPSDeg*100)
+		// §5.7 ordering: dynamic MaxBIPS beats both static flavours at tight
+		// budgets; at loose budgets the oracle-paired static can close to
+		// within the transition-stall noise, so allow a 1% band.
+		if r.MaxBIPSDeg > r.StaticDeg+0.01 {
+			t.Errorf("budget %.0f%%: MaxBIPS (%.3f) worse than oracle static (%.3f)", r.BudgetFrac*100, r.MaxBIPSDeg, r.StaticDeg)
+		}
+		if r.ReschedDeg < r.MaxBIPSDeg-0.005 {
+			t.Errorf("budget %.0f%%: OS rescheduling (%.3f) implausibly beats dynamic MaxBIPS (%.3f)", r.BudgetFrac*100, r.ReschedDeg, r.MaxBIPSDeg)
+		}
+		if r.ReschedDeg < -0.01 || r.ReschedDeg > 0.3 {
+			t.Errorf("resched degradation %.3f out of band", r.ReschedDeg)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// Table4Row is one mode of Table 4: the analytic DVFS estimates.
+type Table4Row struct {
+	Mode              string
+	VScale, FScale    float64
+	PowerSavings      float64 // 1 − V²f
+	PerfDegradation   float64 // 1 − f (upper bound)
+	SavingsPerDegrade float64
+}
+
+// Table4 computes the paper's analytic estimates for every mode of the plan
+// (Turbo rows report zeros).
+func Table4(plan modes.Plan) []Table4Row {
+	rows := make([]Table4Row, plan.NumModes())
+	for m := range rows {
+		mode := modes.Mode(m)
+		r := Table4Row{
+			Mode:            plan.Name(mode),
+			VScale:          plan.VScale(mode),
+			FScale:          plan.FreqScale(mode),
+			PowerSavings:    plan.EstimatedPowerSavings(mode),
+			PerfDegradation: plan.EstimatedPerfDegradation(mode),
+		}
+		if r.PerfDegradation > 0 {
+			r.SavingsPerDegrade = r.PowerSavings / r.PerfDegradation
+		}
+		rows[m] = r
+	}
+	return rows
+}
+
+// Table5Row is one transition of Table 5.
+type Table5Row struct {
+	From, To string
+	DeltaV   float64 // volts
+	Overhead time.Duration
+}
+
+// Table5 computes every distinct mode transition's voltage swing and time
+// overhead at the plan's ramp rate.
+func Table5(plan modes.Plan) []Table5Row {
+	var rows []Table5Row
+	for a := 0; a < plan.NumModes(); a++ {
+		for b := a + 1; b < plan.NumModes(); b++ {
+			ma, mb := modes.Mode(a), modes.Mode(b)
+			rows = append(rows, Table5Row{
+				From:     plan.Name(ma),
+				To:       plan.Name(mb),
+				DeltaV:   plan.Voltage(ma) - plan.Voltage(mb),
+				Overhead: plan.TransitionTime(ma, mb),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,100 @@
+// Package isa defines the minimal abstract instruction set consumed by the
+// core simulator. Workload generators emit streams of Instruction values;
+// the out-of-order pipeline in internal/uarch executes them.
+//
+// The ISA is deliberately small: what matters to the power-management study
+// is the mix of integer, floating-point, memory and branch operations, the
+// dependence structure between them, and the memory addresses they touch —
+// not the semantics of individual opcodes.
+package isa
+
+import "fmt"
+
+// Op is an instruction class, chosen to map one-to-one onto the functional
+// units of the Table 1 core.
+type Op uint8
+
+const (
+	// OpFX is a fixed-point ALU operation (FXU).
+	OpFX Op = iota
+	// OpFP is a floating-point operation (FPU).
+	OpFP
+	// OpLoad reads memory through an LSU.
+	OpLoad
+	// OpStore writes memory through an LSU.
+	OpStore
+	// OpBranch is a conditional branch (BRU).
+	OpBranch
+	numOps
+)
+
+// NumOps is the number of distinct instruction classes.
+const NumOps = int(numOps)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpFX:
+		return "fx"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether o is a defined instruction class.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// Reg identifies an architectural register. The generator uses a flat space;
+// registers < 32 are integer (GPR), >= 32 are floating point (FPR).
+type Reg uint8
+
+// NumArchRegs is the size of the flat architectural register space.
+const NumArchRegs = 64
+
+// IsFP reports whether r names a floating-point architectural register.
+func (r Reg) IsFP() bool { return r >= 32 }
+
+// NoReg marks an unused register operand.
+const NoReg Reg = 255
+
+// Instruction is one dynamic instruction.
+type Instruction struct {
+	// Seq is the dynamic sequence number (program order).
+	Seq uint64
+	// PC is the instruction address (used by the branch predictor and L1I).
+	PC uint64
+	Op Op
+	// Dest is the destination register (NoReg for stores and branches).
+	Dest Reg
+	// Src1 and Src2 are source registers (NoReg when absent).
+	Src1, Src2 Reg
+	// Addr is the effective address for loads/stores.
+	Addr uint64
+	// Taken is the branch outcome for OpBranch.
+	Taken bool
+	// Target is the branch target when Taken.
+	Target uint64
+}
+
+// HasDest reports whether the instruction writes a register.
+func (in Instruction) HasDest() bool { return in.Dest != NoReg }
+
+// Stream supplies dynamic instructions in program order.
+//
+// Next returns the next instruction. ok is false when the stream is
+// exhausted (synthetic streams are effectively infinite; the simulator stops
+// after a cycle budget).
+type Stream interface {
+	Next() (in Instruction, ok bool)
+}

@@ -1,0 +1,56 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		OpFX: "fx", OpFP: "fp", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Errorf("unknown op renders %q", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+	}
+	if Op(NumOps).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("loads and stores are memory ops")
+	}
+	for _, op := range []Op{OpFX, OpFP, OpBranch} {
+		if op.IsMem() {
+			t.Errorf("%v should not be a memory op", op)
+		}
+	}
+}
+
+func TestRegClasses(t *testing.T) {
+	if Reg(0).IsFP() || Reg(31).IsFP() {
+		t.Error("registers 0-31 are integer")
+	}
+	if !Reg(32).IsFP() || !Reg(63).IsFP() {
+		t.Error("registers 32-63 are floating point")
+	}
+}
+
+func TestInstructionHasDest(t *testing.T) {
+	in := Instruction{Dest: NoReg}
+	if in.HasDest() {
+		t.Error("NoReg dest should report no destination")
+	}
+	in.Dest = 5
+	if !in.HasDest() {
+		t.Error("real dest should report a destination")
+	}
+}

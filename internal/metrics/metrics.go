@@ -1,0 +1,118 @@
+// Package metrics computes the evaluation quantities of §5.4: throughput
+// degradation relative to all-Turbo execution, budget-fit ratios, and the
+// fairness-aware weighted slowdown (harmonic mean of per-thread speedups)
+// and weighted speedup (arithmetic mean).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Degradation returns the performance degradation of a policy run relative
+// to a baseline over the same wall-clock window: 1 − policy/baseline
+// aggregate committed instructions.
+func Degradation(policyInstr, baselineInstr float64) float64 {
+	if baselineInstr <= 0 {
+		return 0
+	}
+	return 1 - policyInstr/baselineInstr
+}
+
+// PerThreadSpeedups divides per-core instruction counts element-wise:
+// policy[i]/baseline[i].
+func PerThreadSpeedups(policy, baseline []float64) ([]float64, error) {
+	if len(policy) != len(baseline) {
+		return nil, fmt.Errorf("metrics: %d policy cores vs %d baseline cores", len(policy), len(baseline))
+	}
+	out := make([]float64, len(policy))
+	for i := range policy {
+		if baseline[i] <= 0 {
+			return nil, fmt.Errorf("metrics: baseline core %d committed nothing", i)
+		}
+		out[i] = policy[i] / baseline[i]
+	}
+	return out, nil
+}
+
+// HarmonicMean returns the harmonic mean of positive values.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// ArithmeticMean returns the mean of the values.
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedSlowdown is §5.4's fairness metric: 100% minus the harmonic mean
+// of per-thread speedups, returned as a fraction (0.03 = 3%).
+func WeightedSlowdown(speedups []float64) float64 {
+	return 1 - HarmonicMean(speedups)
+}
+
+// WeightedSpeedupSlowdown is the arithmetic-mean variant the paper reports
+// as giving "negligible differences".
+func WeightedSpeedupSlowdown(speedups []float64) float64 {
+	return 1 - ArithmeticMean(speedups)
+}
+
+// BudgetFit returns consumed/budget power as a fraction — the budget-curve
+// quantity of Fig 4(b).
+func BudgetFit(avgPowerW, budgetW float64) float64 {
+	if budgetW <= 0 {
+		return 0
+	}
+	return avgPowerW / budgetW
+}
+
+// Series summarizes a float series.
+type Series struct {
+	Min, Max, Mean, Std float64
+	N                   int
+}
+
+// Summarize computes the summary of xs.
+func Summarize(xs []float64) Series {
+	s := Series{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - s.Mean
+		v += d * d
+	}
+	s.Std = math.Sqrt(v / float64(len(xs)))
+	return s
+}

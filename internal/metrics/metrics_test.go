@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegradation(t *testing.T) {
+	if got := Degradation(90, 100); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("Degradation(90,100) = %v, want 0.10", got)
+	}
+	if got := Degradation(100, 100); got != 0 {
+		t.Errorf("no-loss degradation %v", got)
+	}
+	if got := Degradation(50, 0); got != 0 {
+		t.Errorf("zero baseline should yield 0, got %v", got)
+	}
+	// Speedups show as negative degradation, by design.
+	if got := Degradation(110, 100); math.Abs(got-(-0.10)) > 1e-9 {
+		t.Errorf("speedup case: %v, want -0.10", got)
+	}
+}
+
+func TestPerThreadSpeedups(t *testing.T) {
+	sp, err := PerThreadSpeedups([]float64{90, 50}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[0] != 0.9 || sp[1] != 0.5 {
+		t.Errorf("speedups %v", sp)
+	}
+	if _, err := PerThreadSpeedups([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PerThreadSpeedups([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 0.5}
+	if got := ArithmeticMean(xs); got != 0.75 {
+		t.Errorf("arithmetic mean %v", got)
+	}
+	// Harmonic mean of {1, 0.5} = 2/(1+2) = 2/3.
+	if got := HarmonicMean(xs); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("harmonic mean %v, want 2/3", got)
+	}
+	if HarmonicMean(nil) != 0 || ArithmeticMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive values should yield 0 harmonic mean")
+	}
+}
+
+func TestWeightedSlowdowns(t *testing.T) {
+	sp := []float64{1, 1, 1, 1}
+	if WeightedSlowdown(sp) != 0 || WeightedSpeedupSlowdown(sp) != 0 {
+		t.Error("all-unity speedups should have zero slowdown")
+	}
+	sp = []float64{0.9, 0.9}
+	if got := WeightedSlowdown(sp); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("uniform 10%% slowdown: %v", got)
+	}
+}
+
+// Property: harmonic mean ≤ arithmetic mean (AM–HM inequality), so the
+// harmonic-mean slowdown is always at least the arithmetic one — fairness
+// penalizes imbalance.
+func TestAMHMProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = 0.05 + float64(r)/255.0 // (0,1.05]
+		}
+		return HarmonicMean(xs) <= ArithmeticMean(xs)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetFit(t *testing.T) {
+	if got := BudgetFit(68, 80); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("BudgetFit %v", got)
+	}
+	if BudgetFit(50, 0) != 0 {
+		t.Error("zero budget should yield 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.N != 4 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("std %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+}

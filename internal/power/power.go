@@ -1,0 +1,189 @@
+// Package power is the PowerTimer substitute: an activity-based, per-unit
+// power model for a POWER4/5-class core, with DVFS voltage/frequency scaling.
+//
+// Each microarchitectural unit has an unconstrained (full-activity) dynamic
+// power and a clock-gating floor; per-interval unit activities measured by
+// the core simulator interpolate between them. Dynamic power scales as V²f
+// and leakage as V² (a compromise between linear-V and exponential
+// subthreshold models; the manager's design-time scale law accounts for it,
+// see internal/core). With the paper's linear V–f plan, total power scaling
+// is within a fraction of a percent of the cubic relation of §5.5.
+package power
+
+import (
+	"fmt"
+
+	"gpm/internal/modes"
+)
+
+// Activity holds per-unit activity factors in [0,1] measured over an
+// interval, plus the committed instruction count for BIPS accounting.
+type Activity struct {
+	Fetch   float64 // fetch pipe + L1I utilization
+	Decode  float64 // decode/dispatch slots used
+	Issue   float64 // issue-queue occupancy/selection
+	FXU     float64
+	FPU     float64
+	LSU     float64 // includes L1D
+	BRU     float64
+	RegFile float64
+	L2      float64 // this core's share of L2 activity
+
+	// Committed is the number of instructions retired in the interval.
+	Committed uint64
+	// Cycles is the interval length in core cycles.
+	Cycles uint64
+}
+
+// IPC returns committed instructions per cycle for the interval.
+func (a Activity) IPC() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Committed) / float64(a.Cycles)
+}
+
+// clamp01 bounds an activity factor.
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Unit describes one power source in the model.
+type Unit struct {
+	Name string
+	// MaxDynamic is the unit's dynamic power in watts at nominal V/f and
+	// activity 1.0.
+	MaxDynamic float64
+	// GateFloor is the fraction of MaxDynamic consumed at activity 0
+	// (imperfect clock gating). 1.0 means ungateable (clock tree).
+	GateFloor float64
+}
+
+// Model is a per-core power model.
+type Model struct {
+	Units []Unit
+	// LeakageW is per-core leakage at nominal Vdd.
+	LeakageW float64
+}
+
+// Default returns the model used throughout the reproduction. Absolute watts
+// are calibrated to a POWER4-class core (tens of watts per core); only
+// relative behaviour matters to the policy study.
+func Default() Model {
+	return Model{
+		Units: []Unit{
+			{Name: "clock", MaxDynamic: 6.0, GateFloor: 1.0},
+			{Name: "fetch", MaxDynamic: 4.5, GateFloor: 0.30},
+			{Name: "decode", MaxDynamic: 3.0, GateFloor: 0.25},
+			{Name: "issue", MaxDynamic: 5.0, GateFloor: 0.30},
+			{Name: "fxu", MaxDynamic: 4.0, GateFloor: 0.20},
+			{Name: "fpu", MaxDynamic: 5.0, GateFloor: 0.15},
+			{Name: "lsu", MaxDynamic: 5.5, GateFloor: 0.25},
+			{Name: "bru", MaxDynamic: 2.0, GateFloor: 0.25},
+			{Name: "regfile", MaxDynamic: 3.0, GateFloor: 0.30},
+			{Name: "l2share", MaxDynamic: 4.0, GateFloor: 0.20},
+		},
+		LeakageW: 3.5,
+	}
+}
+
+// Validate reports model inconsistencies.
+func (m Model) Validate() error {
+	if len(m.Units) == 0 {
+		return fmt.Errorf("power: model has no units")
+	}
+	for _, u := range m.Units {
+		if u.MaxDynamic < 0 || u.GateFloor < 0 || u.GateFloor > 1 {
+			return fmt.Errorf("power: unit %s has invalid parameters", u.Name)
+		}
+	}
+	if m.LeakageW < 0 {
+		return fmt.Errorf("power: negative leakage")
+	}
+	return nil
+}
+
+// unitActivity maps the model's unit names onto Activity fields.
+func unitActivity(name string, a Activity) float64 {
+	switch name {
+	case "clock":
+		return 1
+	case "fetch":
+		return a.Fetch
+	case "decode":
+		return a.Decode
+	case "issue":
+		return a.Issue
+	case "fxu":
+		return a.FXU
+	case "fpu":
+		return a.FPU
+	case "lsu":
+		return a.LSU
+	case "bru":
+		return a.BRU
+	case "regfile":
+		return a.RegFile
+	case "l2share":
+		return a.L2
+	default:
+		return 0
+	}
+}
+
+// CorePower returns the core's power in watts for the given activities under
+// mode m of plan p.
+func (m Model) CorePower(a Activity, p modes.Plan, md modes.Mode) float64 {
+	dyn := 0.0
+	for _, u := range m.Units {
+		act := clamp01(unitActivity(u.Name, a))
+		dyn += u.MaxDynamic * (u.GateFloor + (1-u.GateFloor)*act)
+	}
+	v := p.VScale(md)
+	f := p.FreqScale(md)
+	// Leakage drops superlinearly with supply voltage (DIBL); V³ keeps the
+	// total on the paper's cubic law under linear V–f scaling.
+	return dyn*v*v*f + m.LeakageW*v*v*v
+}
+
+// MaxCorePower returns the all-units-busy power at Turbo: the per-core
+// contribution to the chip's maximum power envelope.
+func (m Model) MaxCorePower() float64 {
+	var dyn float64
+	for _, u := range m.Units {
+		dyn += u.MaxDynamic
+	}
+	return dyn + m.LeakageW
+}
+
+// DynamicFraction returns the share of MaxCorePower that is dynamic; the
+// design-time scale law in internal/core uses it to fold leakage into mode
+// predictions.
+func (m Model) DynamicFraction() float64 {
+	var dyn float64
+	for _, u := range m.Units {
+		dyn += u.MaxDynamic
+	}
+	return dyn / (dyn + m.LeakageW)
+}
+
+// ScaleLaw returns the model's exact total-power scale for mode md relative
+// to Turbo assuming activity is mode-invariant: the "hardwired at design
+// time" relation the global manager may use instead of the pure cubic.
+//
+// scale = wDyn·V²f + wLeak·V³, with weights from the activity-independent
+// decomposition at Turbo. Because activities shift slightly across modes the
+// true ratio still differs by a few tenths of a percent — the §5.5
+// estimation-error regime.
+func (m Model) ScaleLaw(p modes.Plan, md modes.Mode) float64 {
+	w := m.DynamicFraction()
+	v := p.VScale(md)
+	f := p.FreqScale(md)
+	return w*v*v*f + (1-w)*v*v*v
+}

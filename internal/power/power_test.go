@@ -1,0 +1,153 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/modes"
+)
+
+func plan() modes.Plan { return modes.Default(1.300, 0.010) }
+
+func busy() Activity {
+	return Activity{Fetch: 1, Decode: 1, Issue: 1, FXU: 1, FPU: 1, LSU: 1, BRU: 1, RegFile: 1, L2: 1, Committed: 100000, Cycles: 50000}
+}
+
+func idle() Activity { return Activity{Cycles: 50000} }
+
+func TestModelValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Model{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty model validated")
+	}
+	bad = Default()
+	bad.Units[0].GateFloor = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("gate floor > 1 validated")
+	}
+	bad = Default()
+	bad.LeakageW = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative leakage validated")
+	}
+}
+
+func TestFullActivityEqualsMaxPower(t *testing.T) {
+	m := Default()
+	got := m.CorePower(busy(), plan(), modes.Turbo)
+	if math.Abs(got-m.MaxCorePower()) > 1e-9 {
+		t.Errorf("busy Turbo power %v != MaxCorePower %v", got, m.MaxCorePower())
+	}
+}
+
+func TestIdleFloorPositiveAndBelowBusy(t *testing.T) {
+	m := Default()
+	lo := m.CorePower(idle(), plan(), modes.Turbo)
+	hi := m.CorePower(busy(), plan(), modes.Turbo)
+	if lo <= 0 {
+		t.Error("idle power should be positive (clock tree + leakage + gate floors)")
+	}
+	if lo >= hi {
+		t.Errorf("idle %v not below busy %v", lo, hi)
+	}
+	// Clock gating should still remove a substantial share.
+	if lo > 0.7*hi {
+		t.Errorf("idle power %v too close to busy %v", lo, hi)
+	}
+}
+
+func TestCubicScalingAcrossModes(t *testing.T) {
+	m := Default()
+	p := plan()
+	for _, md := range []modes.Mode{modes.Eff1, modes.Eff2} {
+		got := m.CorePower(busy(), p, md) / m.CorePower(busy(), p, modes.Turbo)
+		want := p.PowerScale(md) // V³ leakage keeps the total on the cubic law
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s busy scale %v, want %v", p.Name(md), got, want)
+		}
+	}
+}
+
+func TestScaleLawMatchesModel(t *testing.T) {
+	m := Default()
+	p := plan()
+	for md := 0; md < p.NumModes(); md++ {
+		mode := modes.Mode(md)
+		got := m.CorePower(busy(), p, mode) / m.CorePower(busy(), p, modes.Turbo)
+		law := m.ScaleLaw(p, mode)
+		if math.Abs(got-law) > 1e-9 {
+			t.Errorf("mode %d: busy ratio %v vs design-time law %v", md, got, law)
+		}
+	}
+}
+
+func TestActivityClamped(t *testing.T) {
+	m := Default()
+	over := busy()
+	over.FXU = 3.0
+	under := busy()
+	under.FXU = -1.0
+	hi := m.CorePower(over, plan(), modes.Turbo)
+	if hi > m.MaxCorePower()+1e-9 {
+		t.Error("activity > 1 not clamped")
+	}
+	lo := m.CorePower(under, plan(), modes.Turbo)
+	if lo >= hi {
+		t.Error("negative activity not clamped below full")
+	}
+}
+
+// Property: power is monotone in every activity factor and always within
+// [idle floor, max power].
+func TestPowerMonotoneProperty(t *testing.T) {
+	m := Default()
+	p := plan()
+	f := func(a, b [9]uint8, modeRaw uint8) bool {
+		mk := func(v [9]uint8) Activity {
+			s := func(i int) float64 { return float64(v[i]%101) / 100 }
+			return Activity{Fetch: s(0), Decode: s(1), Issue: s(2), FXU: s(3), FPU: s(4), LSU: s(5), BRU: s(6), RegFile: s(7), L2: s(8), Cycles: 1000}
+		}
+		md := modes.Mode(int(modeRaw) % p.NumModes())
+		x, y := mk(a), mk(b)
+		// Build an element-wise max.
+		hi := Activity{
+			Fetch: math.Max(x.Fetch, y.Fetch), Decode: math.Max(x.Decode, y.Decode),
+			Issue: math.Max(x.Issue, y.Issue), FXU: math.Max(x.FXU, y.FXU),
+			FPU: math.Max(x.FPU, y.FPU), LSU: math.Max(x.LSU, y.LSU),
+			BRU: math.Max(x.BRU, y.BRU), RegFile: math.Max(x.RegFile, y.RegFile),
+			L2: math.Max(x.L2, y.L2), Cycles: 1000,
+		}
+		px, ph := m.CorePower(x, p, md), m.CorePower(hi, p, md)
+		if px > ph+1e-12 {
+			return false
+		}
+		floor := m.CorePower(Activity{Cycles: 1000}, p, md)
+		max := m.CorePower(busy(), p, md)
+		return px >= floor-1e-12 && px <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPCHelper(t *testing.T) {
+	a := Activity{Committed: 5000, Cycles: 10000}
+	if a.IPC() != 0.5 {
+		t.Errorf("IPC %v, want 0.5", a.IPC())
+	}
+	if (Activity{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestDynamicFraction(t *testing.T) {
+	m := Default()
+	w := m.DynamicFraction()
+	if w <= 0.8 || w >= 1 {
+		t.Errorf("dynamic fraction %v outside plausible (0.8,1)", w)
+	}
+}

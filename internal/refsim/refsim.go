@@ -1,0 +1,414 @@
+// Package refsim is a per-cycle, structurally explicit out-of-order pipeline
+// simulator for the Table 1 core: a slow reference model used to validate
+// the fast dependence-driven timing model in internal/uarch, the way
+// multi-fidelity simulator toolsets (like the paper's MET) pair a detailed
+// reference with fast derived models.
+//
+// Unlike uarch — which computes per-instruction event times analytically —
+// refsim advances one clock at a time through explicit fetch, dispatch,
+// issue-select, writeback and commit stages over concrete buffer structures
+// (fetch buffer, reorder buffer, issue window, MSHRs, functional-unit busy
+// state). Agreement between the two models on IPC and on DVFS sensitivity is
+// asserted in tests.
+package refsim
+
+import (
+	"math"
+
+	"gpm/internal/bpred"
+	"gpm/internal/cache"
+	"gpm/internal/config"
+	"gpm/internal/isa"
+)
+
+// entryState tracks an instruction's position in the pipeline.
+type entryState uint8
+
+const (
+	stWaiting entryState = iota // in the issue window, sources pending
+	stIssued                    // executing
+	stDone                      // completed, awaiting in-order commit
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	in    isa.Instruction
+	state entryState
+	// src1/src2 reference producing ROB slots, or -1 when the operand was
+	// ready at dispatch.
+	src1, src2 int
+	doneAt     uint64 // valid once issued
+	isMiss     bool   // occupies an MSHR while executing
+	mispredict bool   // branch that redirects fetch when it completes
+}
+
+// Core is a per-cycle structural model of one core.
+type Core struct {
+	cfg  config.Config
+	str  isa.Stream
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+
+	freqScale float64
+	l2Lat     uint64
+	memLat    uint64
+
+	now uint64
+
+	// Fetch front end.
+	fetchBuf   []isa.Instruction
+	fetchStall uint64 // cycle until which fetch is redirected/stalled
+	// pendingRedirects counts in-flight mispredicted branches; fetch halts
+	// until they resolve (writebackStage) and extend fetchStall.
+	pendingRedirects int
+	lastBlock        uint64
+	streamDone       bool
+
+	// Reorder buffer as a ring.
+	rob        []robEntry
+	robHead    int // oldest
+	robTail    int // next free
+	robCount   int
+	lastWriter [isa.NumArchRegs]int // ROB slot of the newest writer, -1 none
+
+	// Functional units: busy-until cycles per instance.
+	fxu, fpu, lsu, bru []uint64
+
+	// MSHRs: in-flight miss count.
+	missesOut int
+
+	// Reservation-station occupancy per cluster (entries held from dispatch
+	// until issue), mirroring Table 1's 2x18 mem / 2x20 fix / 2x5 fp split.
+	rsMem, rsFix, rsFP int
+
+	// Physical registers in flight (allocated at dispatch for an
+	// instruction with a destination, released at commit). Table 1's 80
+	// GPR / 72 FPR leave 48 / 40 rename registers beyond architected state.
+	physInt, physFP int
+
+	// Statistics.
+	committed uint64
+	cycles    uint64
+}
+
+// New builds a reference core at Turbo frequency.
+func New(cfg config.Config, str isa.Stream, hier *cache.Hierarchy, pred *bpred.Predictor) *Core {
+	c := &Core{
+		cfg:  cfg,
+		str:  str,
+		pred: pred,
+		hier: hier,
+		rob:  make([]robEntry, cfg.Core.ReorderBuffer),
+		fxu:  make([]uint64, cfg.Core.NumFXU),
+		fpu:  make([]uint64, cfg.Core.NumFPU),
+		lsu:  make([]uint64, cfg.Core.NumLSU),
+		bru:  make([]uint64, cfg.Core.NumBRU),
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+	}
+	c.SetFreqScale(1.0)
+	return c
+}
+
+// SetFreqScale rescales the asynchronous-domain latencies, as in uarch.
+func (c *Core) SetFreqScale(f float64) {
+	if f <= 0 || f > 1 {
+		panic("refsim: frequency scale must be in (0,1]")
+	}
+	c.freqScale = f
+	c.l2Lat = uint64(math.Max(1, math.Round(float64(c.cfg.Mem.L2.LatencyCycles)*f)))
+	c.memLat = uint64(math.Max(1, math.Round(float64(c.cfg.Mem.MemoryLatencyCycles)*f)))
+}
+
+// Committed returns instructions committed since construction or ResetStats.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Cycles returns cycles simulated since construction or ResetStats.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// IPC returns committed/cycles.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.committed) / float64(c.cycles)
+}
+
+// ResetStats zeroes the counters; pipeline state is preserved.
+func (c *Core) ResetStats() { c.committed, c.cycles = 0, 0 }
+
+func (c *Core) srcReady(slot int) bool {
+	return slot < 0 || c.rob[slot].state == stDone
+}
+
+// latency returns execution latency and whether the op misses the L1.
+func (c *Core) latency(in isa.Instruction) (uint64, bool) {
+	switch in.Op {
+	case isa.OpFX:
+		return uint64(c.cfg.Core.FXULatency), false
+	case isa.OpFP:
+		return uint64(c.cfg.Core.FPULatency), false
+	case isa.OpBranch:
+		return uint64(c.cfg.Core.BRULatency), false
+	case isa.OpStore:
+		// Address check occupies the LSU; the drain is buffered.
+		c.hier.DataAccessRW(in.Addr, true)
+		return 1, false
+	default: // load
+		lv := c.hier.DataAccess(in.Addr)
+		l1 := uint64(c.cfg.Mem.L1D.LatencyCycles)
+		switch lv {
+		case cache.LevelL1:
+			return l1, false
+		case cache.LevelL2:
+			return l1 + c.l2Lat, true
+		default:
+			return l1 + c.l2Lat + c.memLat, true
+		}
+	}
+}
+
+func (c *Core) fuBank(op isa.Op) []uint64 {
+	switch op {
+	case isa.OpFX:
+		return c.fxu
+	case isa.OpFP:
+		return c.fpu
+	case isa.OpBranch:
+		return c.bru
+	default:
+		return c.lsu
+	}
+}
+
+// Step advances the machine by one cycle. It returns false once the stream
+// is exhausted and the pipeline has drained.
+func (c *Core) Step() bool {
+	c.commitStage()
+	c.writebackStage()
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+	c.now++
+	c.cycles++
+	return !(c.streamDone && c.robCount == 0 && len(c.fetchBuf) == 0)
+}
+
+// Run advances n cycles (or until drained) and reports whether the machine
+// can still make progress.
+func (c *Core) Run(n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if !c.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunInstructions advances until n more instructions commit (or the stream
+// drains).
+func (c *Core) RunInstructions(n uint64) bool {
+	target := c.committed + n
+	for c.committed < target {
+		if !c.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) commitStage() {
+	for k := 0; k < c.cfg.Core.RetireWidth && c.robCount > 0; k++ {
+		e := &c.rob[c.robHead]
+		if e.state != stDone {
+			return
+		}
+		// Clear writer tracking if this entry is still the newest writer,
+		// and release the physical register.
+		if e.in.HasDest() {
+			if c.lastWriter[e.in.Dest] == c.robHead {
+				c.lastWriter[e.in.Dest] = -1
+			}
+			if e.in.Dest.IsFP() {
+				c.physFP--
+			} else {
+				c.physInt--
+			}
+		}
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.committed++
+	}
+}
+
+func (c *Core) writebackStage() {
+	if c.robCount == 0 {
+		return
+	}
+	for i, n := c.robHead, 0; n < c.robCount; i, n = (i+1)%len(c.rob), n+1 {
+		e := &c.rob[i]
+		if e.state == stIssued && e.doneAt <= c.now {
+			e.state = stDone
+			if e.isMiss {
+				c.missesOut--
+			}
+			if e.mispredict {
+				// The redirect happens when the branch resolves — which for
+				// branches fed by loads can be long after dispatch.
+				e.mispredict = false
+				c.pendingRedirects--
+				if stall := c.now + uint64(c.cfg.Core.MispredictPenalty); stall > c.fetchStall {
+					c.fetchStall = stall
+				}
+			}
+		}
+	}
+}
+
+func (c *Core) issueStage() {
+	issued := 0
+	maxIssue := c.cfg.Core.NumFXU + c.cfg.Core.NumFPU + c.cfg.Core.NumLSU + c.cfg.Core.NumBRU
+	for i, n := c.robHead, 0; n < c.robCount && issued < maxIssue; i, n = (i+1)%len(c.rob), n+1 {
+		e := &c.rob[i]
+		if e.state != stWaiting || !c.srcReady(e.src1) || !c.srcReady(e.src2) {
+			continue
+		}
+		bank := c.fuBank(e.in.Op)
+		fu := -1
+		for b := range bank {
+			if bank[b] <= c.now {
+				fu = b
+				break
+			}
+		}
+		if fu < 0 {
+			continue
+		}
+		// Gate on MSHR availability *before* touching the cache: a failed
+		// issue attempt must not fill the line (a probe has no side effect).
+		if e.in.Op == isa.OpLoad && c.missesOut >= c.cfg.Core.MSHRs && !c.hier.L1D.Probe(e.in.Addr) {
+			continue // no MSHR free: retry next cycle
+		}
+		lat, miss := c.latency(e.in)
+		if miss {
+			c.missesOut++
+			e.isMiss = true
+		}
+		bank[fu] = c.now + 1 // pipelined: busy one slot cycle
+		e.state = stIssued
+		e.doneAt = c.now + lat
+		c.releaseRS(e.in.Op)
+		issued++
+	}
+}
+
+// rsCluster returns the occupancy counter and capacity for an op's cluster.
+func (c *Core) rsCluster(op isa.Op) (*int, int) {
+	switch op {
+	case isa.OpLoad, isa.OpStore:
+		return &c.rsMem, c.cfg.Core.MemRS * c.cfg.Core.NumLSU
+	case isa.OpFP:
+		return &c.rsFP, c.cfg.Core.FPRS * c.cfg.Core.NumFPU
+	default:
+		return &c.rsFix, c.cfg.Core.FixRS * c.cfg.Core.NumFXU
+	}
+}
+
+func (c *Core) releaseRS(op isa.Op) {
+	ctr, _ := c.rsCluster(op)
+	*ctr--
+}
+
+func (c *Core) dispatchStage() {
+	for k := 0; k < c.cfg.Core.DispatchWidth && len(c.fetchBuf) > 0 && c.robCount < len(c.rob); k++ {
+		in := c.fetchBuf[0]
+		if in.HasDest() {
+			if in.Dest.IsFP() {
+				if c.physFP >= c.cfg.Core.FPR-32 {
+					return // rename registers exhausted: dispatch stalls
+				}
+			} else if c.physInt >= c.cfg.Core.GPR-32 {
+				return
+			}
+		}
+		if ctr, cap := c.rsCluster(in.Op); *ctr >= cap {
+			return // cluster reservation stations full: dispatch stalls
+		} else {
+			*ctr++
+		}
+		if in.HasDest() {
+			if in.Dest.IsFP() {
+				c.physFP++
+			} else {
+				c.physInt++
+			}
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+		e := robEntry{in: in, state: stWaiting, src1: -1, src2: -1}
+		if in.Src1 != isa.NoReg {
+			e.src1 = c.lastWriter[in.Src1]
+		}
+		if in.Src2 != isa.NoReg {
+			e.src2 = c.lastWriter[in.Src2]
+		}
+		slot := c.robTail
+		c.rob[slot] = e
+		c.robTail = (c.robTail + 1) % len(c.rob)
+		c.robCount++
+		if in.HasDest() {
+			c.lastWriter[in.Dest] = slot
+		}
+		// Branch handling at dispatch: resolve prediction; on a mispredict,
+		// stall fetch until the branch's execution completes plus the
+		// redirect penalty. (The stream is oracle-ordered, so "squashed"
+		// wrong-path work is modeled as the fetch hole.)
+		if in.Op == isa.OpBranch {
+			mis := c.pred.Update(in.PC, in.Taken)
+			if mis {
+				// The stream carries only correct-path instructions, so the
+				// wrong-path time is modeled purely as a fetch hole: fetch
+				// stalls until the branch completes (see writebackStage) —
+				// for branches fed by loads that can be long after dispatch.
+				c.rob[slot].mispredict = true
+				c.pendingRedirects++ // fetch held until resolution
+			} else if in.Taken && c.fetchStall <= c.now {
+				c.fetchStall = c.now + 1 // taken-branch redirect bubble
+			}
+		}
+	}
+}
+
+// fetchBufCap bounds the decoupling queue between fetch and dispatch.
+const fetchBufCap = 32
+
+func (c *Core) fetchStage() {
+	if c.streamDone || c.pendingRedirects > 0 || c.now < c.fetchStall {
+		return
+	}
+	for k := 0; k < c.cfg.Core.FetchWidth && len(c.fetchBuf) < fetchBufCap; k++ {
+		in, ok := c.str.Next()
+		if !ok {
+			c.streamDone = true
+			return
+		}
+		blk := in.PC &^ uint64(c.cfg.Mem.L1I.BlockSize-1)
+		if blk != c.lastBlock {
+			c.lastBlock = blk
+			lv := c.hier.InstrFetch(in.PC)
+			var pen uint64
+			switch lv {
+			case cache.LevelL2:
+				pen = c.l2Lat
+			case cache.LevelMemory:
+				pen = c.l2Lat + c.memLat
+			}
+			if pen > 0 {
+				c.fetchBuf = append(c.fetchBuf, in)
+				c.fetchStall = c.now + pen
+				return
+			}
+		}
+		c.fetchBuf = append(c.fetchBuf, in)
+	}
+}

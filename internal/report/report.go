@@ -1,0 +1,228 @@
+// Package report renders experiment results as aligned text tables, CSV, and
+// ASCII time-series charts, so every paper table and figure can be emitted
+// on a terminal or piped into plotting tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which renders with 3 significant decimals.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no escaping is needed for
+// the numeric/identifier content this repository emits).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sparkline renders xs as a one-line unicode sparkline scaled to [min,max].
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if span > 0 {
+			i = int((x - lo) / span * float64(len(ticks)-1))
+		}
+		b.WriteRune(ticks[i])
+	}
+	return b.String()
+}
+
+// TimeSeries renders a labeled ASCII chart of one or more series sharing an
+// x-axis, downsampled to width columns.
+type TimeSeries struct {
+	Title  string
+	XLabel string
+	Width  int
+	series []namedSeries
+}
+
+type namedSeries struct {
+	name string
+	xs   []float64
+}
+
+// NewTimeSeries constructs a chart; width <= 0 defaults to 100 columns.
+func NewTimeSeries(title, xlabel string, width int) *TimeSeries {
+	if width <= 0 {
+		width = 100
+	}
+	return &TimeSeries{Title: title, XLabel: xlabel, Width: width}
+}
+
+// Add appends a named series.
+func (ts *TimeSeries) Add(name string, xs []float64) {
+	ts.series = append(ts.series, namedSeries{name: name, xs: xs})
+}
+
+// downsample averages xs into w buckets.
+func downsample(xs []float64, w int) []float64 {
+	if len(xs) <= w {
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	out := make([]float64, w)
+	for i := 0; i < w; i++ {
+		lo := i * len(xs) / w
+		hi := (i + 1) * len(xs) / w
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, x := range xs[lo:hi] {
+			s += x
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// String renders each series as a labeled sparkline with min/mean/max.
+func (ts *TimeSeries) String() string {
+	var b strings.Builder
+	if ts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", ts.Title)
+	}
+	nameW := 0
+	for _, s := range ts.series {
+		if len(s.name) > nameW {
+			nameW = len(s.name)
+		}
+	}
+	for _, s := range ts.series {
+		d := downsample(s.xs, ts.Width)
+		lo, hi, sum := d[0], d[0], 0.0
+		for _, x := range d {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			sum += x
+		}
+		fmt.Fprintf(&b, "%-*s %s  [min %.3g mean %.3g max %.3g]\n",
+			nameW, s.name, Sparkline(d), lo, sum/float64(len(d)), hi)
+	}
+	if ts.XLabel != "" {
+		fmt.Fprintf(&b, "%s\n", ts.XLabel)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// W formats watts with one decimal.
+func W(x float64) string { return fmt.Sprintf("%.1fW", x) }

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignmentAndContent(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// All data lines share the same column start for "value".
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1") || !strings.HasPrefix(lines[4][idx:], "22222") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "dropped")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Error("short row not padded")
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Error("long row not truncated")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("x", 1.23456, 7)
+	if tb.Rows[0][1] != "1.235" {
+		t.Errorf("float cell %q", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "7" {
+		t.Errorf("int cell %q", tb.Rows[0][2])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2")
+	got := tb.CSV()
+	want := "a,b\n1,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1})
+	runes := []rune(s)
+	if len(runes) != 2 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if runes[0] != '▁' || runes[1] != '█' {
+		t.Errorf("sparkline extremes %q", s)
+	}
+	// Constant series must not divide by zero.
+	if flat := Sparkline([]float64{5, 5, 5}); len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline %q", flat)
+	}
+}
+
+func TestTimeSeriesDownsamples(t *testing.T) {
+	ts := NewTimeSeries("title", "x", 10)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ts.Add("ramp", xs)
+	s := ts.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "ramp") || !strings.Contains(s, "x") {
+		t.Errorf("series output missing parts:\n%s", s)
+	}
+	if !strings.Contains(s, "min 49.5") { // first bucket mean of 0..99
+		t.Errorf("downsampled min wrong:\n%s", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct: %s", Pct(0.123))
+	}
+	if W(68.04) != "68.0W" {
+		t.Errorf("W: %s", W(68.04))
+	}
+}

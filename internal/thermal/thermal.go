@@ -1,0 +1,178 @@
+// Package thermal models per-core die temperature with a lumped RC network
+// and derives dynamic chip power budgets from a temperature limit.
+//
+// The paper motivates global power management with "power and thermal
+// implications" (§1) and evaluates a budget drop caused by a cooling failure
+// (Fig 6). This package closes that loop: a Governor watches per-core
+// temperatures evolve under the simulated power draw and translates a
+// junction-temperature limit into the chip-level budget the global manager
+// enforces.
+//
+// Each core is a first-order RC node:
+//
+//	C · dT/dt = P − (T − Tamb)/R
+//
+// so temperature relaxes toward Tamb + P·R with time constant R·C.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params describes the per-core thermal network and limits.
+type Params struct {
+	// RthCPerW is the junction-to-ambient thermal resistance (°C/W).
+	RthCPerW float64
+	// CthJPerC is the lumped thermal capacitance (J/°C). R·C is the
+	// thermal time constant.
+	CthJPerC float64
+	// AmbientC is the ambient (heatsink) temperature in °C.
+	AmbientC float64
+	// LimitC is the maximum allowed junction temperature in °C.
+	LimitC float64
+}
+
+// DefaultParams returns plausible server-class values: ≈0.6 °C/W to a 45 °C
+// ambient with a ≈25 ms time constant, limited at 85 °C.
+func DefaultParams() Params {
+	return Params{
+		RthCPerW: 0.60,
+		CthJPerC: 0.040,
+		AmbientC: 45,
+		LimitC:   85,
+	}
+}
+
+// Validate reports parameter problems.
+func (p Params) Validate() error {
+	var errs []error
+	if p.RthCPerW <= 0 || p.CthJPerC <= 0 {
+		errs = append(errs, errors.New("thermal: R and C must be positive"))
+	}
+	if p.LimitC <= p.AmbientC {
+		errs = append(errs, fmt.Errorf("thermal: limit %.1f°C must exceed ambient %.1f°C", p.LimitC, p.AmbientC))
+	}
+	return errors.Join(errs...)
+}
+
+// TimeConstant returns R·C.
+func (p Params) TimeConstant() time.Duration {
+	return time.Duration(p.RthCPerW * p.CthJPerC * float64(time.Second))
+}
+
+// SteadyStateC returns the equilibrium temperature at constant power.
+func (p Params) SteadyStateC(powerW float64) float64 {
+	return p.AmbientC + powerW*p.RthCPerW
+}
+
+// MaxSteadyPowerW returns the largest per-core power sustainable at the
+// temperature limit.
+func (p Params) MaxSteadyPowerW() float64 {
+	return (p.LimitC - p.AmbientC) / p.RthCPerW
+}
+
+// State tracks the per-core temperatures.
+type State struct {
+	p     Params
+	temps []float64
+}
+
+// NewState starts n cores at ambient temperature.
+func NewState(p Params, n int) (*State, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("thermal: %d cores", n)
+	}
+	s := &State{p: p, temps: make([]float64, n)}
+	for i := range s.temps {
+		s.temps[i] = p.AmbientC
+	}
+	return s, nil
+}
+
+// Temps returns a copy of the current per-core temperatures.
+func (s *State) Temps() []float64 {
+	out := make([]float64, len(s.temps))
+	copy(out, s.temps)
+	return out
+}
+
+// MaxTemp returns the hottest core's temperature.
+func (s *State) MaxTemp() float64 {
+	m := math.Inf(-1)
+	for _, t := range s.temps {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Step integrates the network over dt with the given per-core powers using
+// the exact solution of the linear node (stable for any dt).
+func (s *State) Step(powersW []float64, dt time.Duration) {
+	if len(powersW) != len(s.temps) {
+		panic(fmt.Sprintf("thermal: %d powers for %d cores", len(powersW), len(s.temps)))
+	}
+	tau := s.p.RthCPerW * s.p.CthJPerC
+	alpha := 1 - math.Exp(-dt.Seconds()/tau)
+	for i := range s.temps {
+		target := s.p.SteadyStateC(powersW[i])
+		s.temps[i] += (target - s.temps[i]) * alpha
+	}
+}
+
+// Governor converts the thermal state into a chip power budget: the total
+// power that, held for one control horizon, would bring each core exactly to
+// the temperature limit (never below a small idle floor per core).
+type Governor struct {
+	state   *State
+	horizon time.Duration
+	// FloorWPerCore guards against a zero budget when a core is already at
+	// or above the limit (DVFS cannot cut power to zero).
+	FloorWPerCore float64
+	// MarginC is the control setpoint margin below the trip limit,
+	// absorbing the sample-and-hold lag of explore-interval control and
+	// interval-to-interval power jitter.
+	MarginC float64
+}
+
+// NewGovernor wraps a thermal state with a control horizon (typically the
+// explore interval).
+func NewGovernor(state *State, horizon time.Duration) *Governor {
+	return &Governor{state: state, horizon: horizon, FloorWPerCore: 2, MarginC: 2.5}
+}
+
+// State exposes the underlying temperatures.
+func (g *Governor) State() *State { return g.state }
+
+// BudgetW returns the chip power budget implied by the temperature limit.
+// Per core, the allowance is the power P satisfying T + (Tamb + P·R − T)·α =
+// Tlimit over one horizon, where α = 1 − e^(−h/τ). The chip budget is n ×
+// the **hottest** core's allowance: a chip-total budget cannot direct a
+// throughput-maximizing policy to slow any particular core, so only the
+// conservative uniform bound guarantees the hottest core's power share
+// shrinks with its headroom.
+func (g *Governor) BudgetW() float64 {
+	p := g.state.p
+	tau := p.RthCPerW * p.CthJPerC
+	alpha := 1 - math.Exp(-g.horizon.Seconds()/tau)
+	setpoint := p.LimitC - g.MarginC
+	minAllowed := math.Inf(1)
+	for _, t := range g.state.temps {
+		// Solve t + (ambient + P·R − t)·α = setpoint for P.
+		allowed := ((setpoint-t)/alpha + t - p.AmbientC) / p.RthCPerW
+		if allowed < g.FloorWPerCore {
+			allowed = g.FloorWPerCore
+		}
+		if allowed < minAllowed {
+			minAllowed = allowed
+		}
+	}
+	return minAllowed * float64(len(g.state.temps))
+}

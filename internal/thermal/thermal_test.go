@@ -1,0 +1,148 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.RthCPerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero R validated")
+	}
+	bad = DefaultParams()
+	bad.LimitC = bad.AmbientC
+	if err := bad.Validate(); err == nil {
+		t.Error("limit <= ambient validated")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	p := DefaultParams()
+	if got := p.SteadyStateC(0); got != p.AmbientC {
+		t.Errorf("zero-power steady state %v, want ambient", got)
+	}
+	if got := p.SteadyStateC(50); math.Abs(got-(45+30)) > 1e-9 {
+		t.Errorf("50 W steady state %v, want 75", got)
+	}
+	// MaxSteadyPowerW inverts SteadyStateC at the limit.
+	if got := p.SteadyStateC(p.MaxSteadyPowerW()); math.Abs(got-p.LimitC) > 1e-9 {
+		t.Errorf("max steady power does not reach the limit: %v", got)
+	}
+}
+
+func TestStateConvergesToSteadyState(t *testing.T) {
+	p := DefaultParams()
+	s, err := NewState(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold 40 W / 20 W for many time constants.
+	for i := 0; i < 10000; i++ {
+		s.Step([]float64{40, 20}, time.Millisecond)
+	}
+	temps := s.Temps()
+	if math.Abs(temps[0]-p.SteadyStateC(40)) > 0.1 {
+		t.Errorf("core 0 temp %v, want ≈%v", temps[0], p.SteadyStateC(40))
+	}
+	if math.Abs(temps[1]-p.SteadyStateC(20)) > 0.1 {
+		t.Errorf("core 1 temp %v, want ≈%v", temps[1], p.SteadyStateC(20))
+	}
+	if s.MaxTemp() != temps[0] {
+		t.Error("MaxTemp should be the hotter core")
+	}
+}
+
+func TestStepExactSolutionStableForLargeDt(t *testing.T) {
+	p := DefaultParams()
+	s, _ := NewState(p, 1)
+	// One giant step lands exactly on the steady state (no overshoot, no
+	// instability — the exact exponential update, not forward Euler).
+	s.Step([]float64{30}, time.Hour)
+	if got := s.Temps()[0]; math.Abs(got-p.SteadyStateC(30)) > 1e-6 {
+		t.Errorf("large step temp %v, want %v", got, p.SteadyStateC(30))
+	}
+}
+
+// Property: temperature stays within [ambient, steady-state(maxP)] for any
+// bounded power sequence, and is monotone in applied power.
+func TestTemperatureBoundsProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(powers []uint8) bool {
+		s, _ := NewState(p, 1)
+		maxP := 0.0
+		for _, raw := range powers {
+			pw := float64(raw % 60)
+			if pw > maxP {
+				maxP = pw
+			}
+			s.Step([]float64{pw}, 5*time.Millisecond)
+			temp := s.Temps()[0]
+			if temp < p.AmbientC-1e-9 || temp > p.SteadyStateC(maxP)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGovernorBudgetShrinksWhenHot(t *testing.T) {
+	p := DefaultParams()
+	s, _ := NewState(p, 4)
+	g := NewGovernor(s, 500*time.Microsecond)
+	cold := g.BudgetW()
+	// Heat all cores near the limit.
+	for i := 0; i < 20000; i++ {
+		s.Step([]float64{60, 60, 60, 60}, time.Millisecond)
+	}
+	hot := g.BudgetW()
+	if hot >= cold {
+		t.Errorf("hot budget %v not below cold budget %v", hot, cold)
+	}
+	if hot < 4*g.FloorWPerCore-1e-9 {
+		t.Errorf("budget %v fell below the per-core floor", hot)
+	}
+}
+
+func TestGovernorHoldsLimit(t *testing.T) {
+	p := DefaultParams()
+	s, _ := NewState(p, 1)
+	g := NewGovernor(s, 500*time.Microsecond)
+	// Closed loop: each step draws exactly the governed budget.
+	for i := 0; i < 200000; i++ {
+		s.Step([]float64{g.BudgetW()}, 500*time.Microsecond)
+	}
+	if temp := s.MaxTemp(); temp > p.LimitC+0.5 {
+		t.Errorf("closed-loop temperature %v exceeds limit %v", temp, p.LimitC)
+	}
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState(DefaultParams(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := DefaultParams()
+	bad.CthJPerC = -1
+	if _, err := NewState(bad, 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestStepPanicsOnMismatch(t *testing.T) {
+	s, _ := NewState(DefaultParams(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	s.Step([]float64{1}, time.Millisecond)
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/modes"
+)
+
+func playerFor(t testing.TB, bench string) *Player {
+	t.Helper()
+	pr, err := testLibrary(t).Profile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPlayer(pr)
+}
+
+// Property: advancing in two steps equals advancing once — energy,
+// instructions and final position all agree (the cmpsim delta loop depends
+// on this).
+func TestPlayerAdvanceAdditivity(t *testing.T) {
+	pr, err := testLibrary(t).Profile("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(modeRaw uint8, aRaw, bRaw uint16) bool {
+		m := modes.Mode(int(modeRaw) % 3)
+		a := float64(aRaw%2000+1) * 1e-6 // 1µs..2ms
+		b := float64(bRaw%2000+1) * 1e-6
+		p1 := NewPlayer(pr)
+		e1a, i1a := p1.Advance(m, a)
+		e1b, i1b := p1.Advance(m, b)
+		p2 := NewPlayer(pr)
+		e2, i2 := p2.Advance(m, a+b)
+		tol := 1e-9 + (e2+i2)*1e-9
+		return math.Abs((e1a+e1b)-e2) < 1e-6+tol &&
+			math.Abs((i1a+i1b)-i2) < 1+tol &&
+			math.Abs(p1.Position()-p2.Position()) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Peek never moves the player and equals the subsequent Advance.
+func TestPlayerPeekIdempotent(t *testing.T) {
+	p := playerFor(t, "crafty")
+	p.Advance(modes.Eff1, 1e-3) // somewhere mid-program
+	for _, m := range []modes.Mode{modes.Turbo, modes.Eff1, modes.Eff2} {
+		pos := p.Position()
+		e1, i1 := p.Peek(m, 500e-6)
+		e2, i2 := p.Peek(m, 500e-6)
+		if p.Position() != pos {
+			t.Fatal("Peek moved the player")
+		}
+		if e1 != e2 || i1 != i2 {
+			t.Fatal("Peek not deterministic")
+		}
+		e3, i3 := p.Clone().Advance(m, 500e-6)
+		if e1 != e3 || i1 != i3 {
+			t.Fatal("Peek disagrees with Advance")
+		}
+	}
+}
+
+// Property: slower modes never commit more instructions over the same wall
+// time, and never consume more energy.
+func TestPlayerModeMonotonicity(t *testing.T) {
+	for _, bench := range []string{"sixtrack", "mcf", "gcc"} {
+		p := playerFor(t, bench)
+		p.Advance(modes.Turbo, 2e-3)
+		var prevI, prevE float64 = math.Inf(1), math.Inf(1)
+		for m := 0; m < 3; m++ {
+			e, in := p.Peek(modes.Mode(m), 500e-6)
+			if in > prevI*1.0001 {
+				t.Errorf("%s: mode %d commits more (%.0f) than mode %d (%.0f)", bench, m, in, m-1, prevI)
+			}
+			if e > prevE*1.0001 {
+				t.Errorf("%s: mode %d consumes more energy than mode %d", bench, m, m-1)
+			}
+			prevI, prevE = in, e
+		}
+	}
+}
+
+func TestPlayerCompletion(t *testing.T) {
+	pr, err := testLibrary(t).Profile("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shortened copy completes quickly.
+	short := *pr
+	short.Spec.TotalInstructions = 200_000
+	p := NewPlayer(&short)
+	var total float64
+	for i := 0; i < 10_000 && !p.Completed(); i++ {
+		_, in := p.Advance(modes.Turbo, 50e-6)
+		total += in
+	}
+	if !p.Completed() {
+		t.Fatal("player never completed")
+	}
+	if total < 190_000 || total > 210_000 {
+		t.Errorf("committed %.0f before completion, want ≈200k", total)
+	}
+	// Once completed, Advance is a no-op.
+	e, in := p.Advance(modes.Turbo, 1e-3)
+	if e != 0 || in != 0 {
+		t.Error("completed player still produced work")
+	}
+}
+
+func TestPlayerPhaseProgression(t *testing.T) {
+	p := playerFor(t, "gcc") // three phases
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Phase()] = true
+		p.Advance(modes.Turbo, 50e-6)
+	}
+	if len(seen) < 3 {
+		t.Errorf("player visited %d phases over 10ms, want all 3", len(seen))
+	}
+}
+
+func TestPlayerInvalidModePanics(t *testing.T) {
+	p := playerFor(t, "gcc")
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	p.Advance(modes.Mode(9), 1e-3)
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"gpm/internal/config"
+	"gpm/internal/modes"
+	"gpm/internal/power"
+)
+
+// profileBlob is the on-disk representation of a Profile. The workload spec
+// and plan are stored by value so a loaded profile is self-describing; a
+// fingerprint of the generating configuration guards against stale caches.
+type profileBlob struct {
+	Version     int
+	Fingerprint uint64
+	Profile     Profile
+}
+
+// blobVersion bumps whenever the characterization pipeline changes meaning.
+const blobVersion = 1
+
+// fingerprint hashes every input that affects characterization output.
+func fingerprint(cfg config.Config, model power.Model, plan modes.Plan, benchmark string) uint64 {
+	h := fnv.New64a()
+	enc := gob.NewEncoder(h)
+	// Encoding errors cannot occur for these plain structs; a failure here
+	// means the types became unencodable, which tests catch.
+	_ = enc.Encode(cfg)
+	_ = enc.Encode(model)
+	_ = enc.Encode(plan)
+	_ = enc.Encode(benchmark)
+	return h.Sum64()
+}
+
+// Encode serializes a profile for storage.
+func Encode(cfg config.Config, model power.Model, pr *Profile) ([]byte, error) {
+	blob := profileBlob{
+		Version:     blobVersion,
+		Fingerprint: fingerprint(cfg, model, pr.Plan, pr.Spec.Name),
+		Profile:     *pr,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return nil, fmt.Errorf("trace: encode %s: %w", pr.Spec.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a profile, validating the version and the fingerprint
+// against the supplied configuration.
+func Decode(cfg config.Config, model power.Model, plan modes.Plan, benchmark string, data []byte) (*Profile, error) {
+	var blob profileBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("trace: decode %s: %w", benchmark, err)
+	}
+	if blob.Version != blobVersion {
+		return nil, fmt.Errorf("trace: %s: blob version %d, want %d", benchmark, blob.Version, blobVersion)
+	}
+	if want := fingerprint(cfg, model, plan, benchmark); blob.Fingerprint != want {
+		return nil, fmt.Errorf("trace: %s: characterization inputs changed since the profile was saved", benchmark)
+	}
+	if blob.Profile.Spec.Name != benchmark {
+		return nil, fmt.Errorf("trace: blob holds %q, want %q", blob.Profile.Spec.Name, benchmark)
+	}
+	return &blob.Profile, nil
+}
+
+// DiskCache adds a persistent layer under a Library: profiles are loaded
+// from dir when fingerprints match and written back after characterization.
+type DiskCache struct {
+	Dir string
+}
+
+func (d DiskCache) path(benchmark string) string {
+	return filepath.Join(d.Dir, benchmark+".profile")
+}
+
+// Load retrieves a cached profile; a nil profile with nil error means a
+// clean cache miss.
+func (d DiskCache) Load(cfg config.Config, model power.Model, plan modes.Plan, benchmark string) (*Profile, error) {
+	data, err := os.ReadFile(d.path(benchmark))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	pr, err := Decode(cfg, model, plan, benchmark, data)
+	if err != nil {
+		// A stale or corrupt entry is a miss, not a failure: the caller
+		// re-characterizes and overwrites it.
+		return nil, nil
+	}
+	return pr, nil
+}
+
+// Store persists a profile.
+func (d DiskCache) Store(cfg config.Config, model power.Model, pr *Profile) error {
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := Encode(cfg, model, pr)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(d.path(pr.Spec.Name), data, 0o644)
+}
+
+// WithDiskCache attaches a persistent profile cache to the library; returns
+// the library for chaining.
+func (l *Library) WithDiskCache(dir string) *Library {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.disk = &DiskCache{Dir: dir}
+	return l
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"testing"
+
+	"gpm/internal/config"
+	"gpm/internal/modes"
+	"gpm/internal/power"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	lib := testLibrary(t)
+	pr, err := lib.Profile("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(lib.Config(), lib.Model(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(lib.Config(), lib.Model(), lib.Plan(), "crafty", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != pr.Spec.Name || got.PeriodInstr != pr.PeriodInstr {
+		t.Error("round trip lost profile identity")
+	}
+	for m := range pr.Behavior {
+		for ph := range pr.Behavior[m] {
+			if got.Behavior[m][ph] != pr.Behavior[m][ph] {
+				t.Fatalf("behavior [%d][%d] changed in round trip", m, ph)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsWrongInputs(t *testing.T) {
+	lib := testLibrary(t)
+	pr, err := lib.Profile("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(lib.Config(), lib.Model(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong benchmark name.
+	if _, err := Decode(lib.Config(), lib.Model(), lib.Plan(), "mcf", data); err == nil {
+		t.Error("decode accepted a mismatched benchmark")
+	}
+	// Changed configuration invalidates the fingerprint.
+	cfg := lib.Config()
+	cfg.Sim.SampleInstructions *= 2
+	if _, err := Decode(cfg, lib.Model(), lib.Plan(), "crafty", data); err == nil {
+		t.Error("decode accepted a stale configuration")
+	}
+	// Garbage bytes.
+	if _, err := Decode(lib.Config(), lib.Model(), lib.Plan(), "crafty", []byte("junk")); err == nil {
+		t.Error("decode accepted garbage")
+	}
+}
+
+func TestDiskCacheHitAvoidsRecharacterization(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config.Default(4)
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+
+	lib1 := NewLibrary(cfg, power.Default(), plan).WithDiskCache(dir)
+	pr1, err := lib1.Profile("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh library with the same cache dir must load the same profile.
+	lib2 := NewLibrary(cfg, power.Default(), plan).WithDiskCache(dir)
+	pr2, err := lib2.Profile("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1.PeriodInstr != pr2.PeriodInstr {
+		t.Error("disk-cached profile differs from the original")
+	}
+	for m := range pr1.Behavior {
+		for ph := range pr1.Behavior[m] {
+			if pr1.Behavior[m][ph].PowerW != pr2.Behavior[m][ph].PowerW {
+				t.Fatal("cached behavior diverged")
+			}
+		}
+	}
+}
+
+func TestDiskCacheStaleEntryRecharacterizes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config.Default(4)
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+	lib1 := NewLibrary(cfg, power.Default(), plan).WithDiskCache(dir)
+	if _, err := lib1.Profile("art"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same dir, different sampling config: the stale entry must be ignored
+	// and replaced, not returned.
+	cfg2 := cfg
+	cfg2.Sim.SampleInstructions = cfg.Sim.SampleInstructions / 2
+	lib2 := NewLibrary(cfg2, power.Default(), plan).WithDiskCache(dir)
+	pr, err := lib2.Profile("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Spec.Name != "art" {
+		t.Fatal("unexpected profile")
+	}
+	// And the new entry must now satisfy the new fingerprint.
+	lib3 := NewLibrary(cfg2, power.Default(), plan).WithDiskCache(dir)
+	if _, err := lib3.Profile("art"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"gpm/internal/config"
+	"gpm/internal/modes"
+	"gpm/internal/power"
+	"gpm/internal/workload"
+)
+
+func testLibrary(t testing.TB) *Library {
+	t.Helper()
+	cfg := config.Default(4)
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+	return NewLibrary(cfg, power.Default(), plan)
+}
+
+func TestCharacterizeAllBenchmarks(t *testing.T) {
+	lib := testLibrary(t)
+	for _, name := range workload.Names() {
+		pr, err := lib.Profile(name)
+		if err != nil {
+			t.Fatalf("Profile(%s): %v", name, err)
+		}
+		if len(pr.Behavior) != 3 {
+			t.Fatalf("%s: got %d modes, want 3", name, len(pr.Behavior))
+		}
+		for m := range pr.Behavior {
+			for ph, b := range pr.Behavior[m] {
+				if b.IPC <= 0 || b.IPC > float64(lib.Config().Core.DispatchWidth) {
+					t.Errorf("%s mode %d phase %d: IPC %v out of range", name, m, ph, b.IPC)
+				}
+				if b.PowerW <= 0 {
+					t.Errorf("%s mode %d phase %d: power %v not positive", name, m, ph, b.PowerW)
+				}
+			}
+		}
+		turboP, turboT := pr.WholeProgram(modes.Turbo)
+		eff2P, eff2T := pr.WholeProgram(modes.Eff2)
+		t.Logf("%-9s turbo: %5.1f W, eff2 savings %5.1f%%, eff2 perf degradation %5.1f%%  (turbo IPC %4.2f)",
+			name, turboP, 100*(1-eff2P/turboP), 100*(1-turboT/eff2T), pr.Behavior[0][0].IPC)
+	}
+}
+
+func TestDVFSSensitivityCorners(t *testing.T) {
+	lib := testLibrary(t)
+	deg := func(name string) float64 {
+		pr, err := lib.Profile(name)
+		if err != nil {
+			t.Fatalf("Profile(%s): %v", name, err)
+		}
+		_, tT := pr.WholeProgram(modes.Turbo)
+		_, tE := pr.WholeProgram(modes.Eff2)
+		return 1 - tT/tE
+	}
+	mcf := deg("mcf")
+	six := deg("sixtrack")
+	// Fig 2: sixtrack's Eff2 degradation approaches the 15% frequency cut;
+	// mcf's is far smaller (paper: 5.1%).
+	if six < 0.10 {
+		t.Errorf("sixtrack Eff2 degradation %.1f%%, want >= 10%% (CPU-bound corner)", six*100)
+	}
+	if mcf > six/2 {
+		t.Errorf("mcf Eff2 degradation %.1f%% not well below sixtrack's %.1f%%", mcf*100, six*100)
+	}
+}
+
+func TestPowerScalingNearCubic(t *testing.T) {
+	lib := testLibrary(t)
+	pr, err := lib.Profile("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pT, _ := pr.WholeProgram(modes.Turbo)
+	pE2, _ := pr.WholeProgram(modes.Eff2)
+	got := pE2 / pT
+	want := lib.Model().ScaleLaw(lib.Plan(), modes.Eff2)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("Eff2/Turbo power ratio %.4f, design-time scale law %.4f (>2%% apart)", got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package uarch
+
+import (
+	"testing"
+
+	"gpm/internal/config"
+	"gpm/internal/isa"
+)
+
+// missStream emits independent loads that each touch a fresh block in an
+// enormous region: every access misses the whole hierarchy.
+type missStream struct {
+	i    uint64
+	next uint64
+}
+
+func (s *missStream) Next() (isa.Instruction, bool) {
+	s.next += 4096 // fresh set+tag each time
+	in := isa.Instruction{
+		Seq:  s.i,
+		PC:   0x1000_0000 + (s.i%16)*4,
+		Op:   isa.OpLoad,
+		Dest: isa.Reg(s.i % 16),
+		Src1: 30, // invariant: always ready
+		Src2: isa.NoReg,
+		Addr: 0x9000_0000 + s.next,
+	}
+	s.i++
+	return in, true
+}
+
+// newCoreWithMSHRs builds a core with a custom MSHR count.
+func newCoreWithMSHRs(t *testing.T, mshrs int) *Core {
+	t.Helper()
+	cfg := config.Default(1)
+	cfg.Core.MSHRs = mshrs
+	return newCoreFrom(t, cfg, &missStream{})
+}
+
+func TestMSHRsBoundMemoryLevelParallelism(t *testing.T) {
+	run := func(mshrs int) uint64 {
+		c := newCoreWithMSHRs(t, mshrs)
+		c.RunInstructions(4000)
+		return c.Frontier()
+	}
+	one := run(1)
+	four := run(4)
+	sixteen := run(16)
+	// More MSHRs ⇒ more overlapped misses ⇒ fewer cycles.
+	if !(one > four && four > sixteen) {
+		t.Errorf("cycles not decreasing with MSHRs: 1->%d, 4->%d, 16->%d", one, four, sixteen)
+	}
+	// With a single MSHR, misses fully serialize: ≥ memLatency per load.
+	cfg := config.Default(1)
+	minSerial := uint64(4000) * uint64(cfg.Mem.MemoryLatencyCycles) / 2
+	if one < minSerial {
+		t.Errorf("single-MSHR run %d cycles, expected ≥ %d (serialized misses)", one, minSerial)
+	}
+}
+
+func TestMSHRWaitCounted(t *testing.T) {
+	c := newCoreWithMSHRs(t, 2)
+	c.RunInstructions(2000)
+	if c.Counters().MSHRWait == 0 {
+		t.Error("back-to-back misses with 2 MSHRs must record MSHR waits")
+	}
+	c16 := newCoreWithMSHRs(t, 64)
+	c16.RunInstructions(2000)
+	if c16.Counters().MSHRWait >= c.Counters().MSHRWait {
+		t.Error("more MSHRs should reduce MSHR wait")
+	}
+}
+
+func TestStoreMissesOccupyMSHRs(t *testing.T) {
+	// Stores don't stall dependents but their line fills hold MSHRs; a
+	// store-heavy miss stream must still see MSHR pressure.
+	cfg := config.Default(1)
+	cfg.Core.MSHRs = 2
+	str := &missStream{}
+	c := newCoreFrom(t, cfg, storeWrap{str})
+	c.RunInstructions(2000)
+	if c.Counters().MSHRWait == 0 {
+		t.Error("store misses should contend for MSHRs")
+	}
+	if c.Counters().Stores != 2000 {
+		t.Errorf("stores %d, want 2000", c.Counters().Stores)
+	}
+}
+
+// storeWrap converts a load stream into stores.
+type storeWrap struct{ s *missStream }
+
+func (w storeWrap) Next() (isa.Instruction, bool) {
+	in, ok := w.s.Next()
+	in.Op = isa.OpStore
+	in.Src2 = in.Dest
+	in.Dest = isa.NoReg
+	return in, ok
+}

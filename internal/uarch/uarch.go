@@ -1,0 +1,513 @@
+// Package uarch is the Turandot substitute: a dependence-driven, cycle-level
+// timing model of the Table 1 out-of-order core.
+//
+// The model processes the dynamic instruction stream in program order and
+// computes, per instruction, the cycles at which it is fetched, dispatched,
+// issued, completed and retired, subject to the structural resources of the
+// Table 1 machine: fetch/dispatch/retire widths, instruction-queue and
+// reservation-station capacity, reorder-buffer size, physical registers,
+// functional-unit counts and latencies, the branch predictor, and the cache
+// hierarchy. This O(instructions) formulation is standard for trace-driven
+// processor models and preserves the quantities the power-management study
+// depends on — IPC, memory-stall sensitivity to frequency, and per-unit
+// activity — at a small fraction of the cost of a per-cycle structural
+// simulator.
+//
+// DVFS enters through SetFreqScale: latencies of the asynchronous domains
+// (shared L2, memory) are rescaled in core cycles, which is what makes
+// memory-bound workloads nearly frequency-insensitive (Fig 2's mcf corner).
+package uarch
+
+import (
+	"math"
+
+	"gpm/internal/bpred"
+	"gpm/internal/cache"
+	"gpm/internal/config"
+	"gpm/internal/isa"
+	"gpm/internal/power"
+)
+
+// frontEndDepth is the number of pipeline stages between fetch and dispatch.
+const frontEndDepth = 3
+
+// ring is a fixed-size cycle ring used to model capacity constraints: entry
+// i of a capacity-k resource is free once the (i-k)-th user released it.
+type ring struct {
+	buf []uint64
+	n   uint64
+}
+
+func newRing(k int) *ring {
+	if k < 1 {
+		k = 1
+	}
+	return &ring{buf: make([]uint64, k)}
+}
+
+// freeAt returns the cycle at which a new slot is available, given the
+// release cycles pushed so far.
+func (r *ring) freeAt() uint64 { return r.buf[r.n%uint64(len(r.buf))] }
+
+// push records that the newly allocated slot is released at cycle c.
+func (r *ring) push(c uint64) {
+	r.buf[r.n%uint64(len(r.buf))] = c
+	r.n++
+}
+
+// fuBank models one class of pipelined functional units (1/cycle throughput
+// per instance).
+type fuBank struct {
+	nextFree []uint64
+}
+
+func newFUBank(n int) *fuBank { return &fuBank{nextFree: make([]uint64, n)} }
+
+// issue reserves the earliest-available instance at or after cycle c and
+// returns the actual issue cycle.
+func (b *fuBank) issue(c uint64) uint64 {
+	best := 0
+	for i := 1; i < len(b.nextFree); i++ {
+		if b.nextFree[i] < b.nextFree[best] {
+			best = i
+		}
+	}
+	if b.nextFree[best] > c {
+		c = b.nextFree[best]
+	}
+	b.nextFree[best] = c + 1
+	return c
+}
+
+// Counters accumulate raw event counts over a measurement window.
+type Counters struct {
+	Cycles      uint64
+	Fetched     uint64
+	Committed   uint64
+	FXOps       uint64
+	FPOps       uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+
+	L1IMisses  uint64
+	L1DMisses  uint64
+	L2Accesses uint64
+	L2Misses   uint64
+
+	RegReads  uint64
+	RegWrites uint64
+
+	// IQWaitSum accumulates (issue − dispatch) over instructions; divided by
+	// (IQ size × cycles) it approximates issue-queue occupancy.
+	IQWaitSum uint64
+
+	// L2WaitCycles accumulates contention queueing delay charged by a shared
+	// L2 (full-CMP simulation only).
+	L2WaitCycles uint64
+
+	// MSHRWait accumulates cycles misses spent waiting for a free
+	// miss-status register.
+	MSHRWait uint64
+}
+
+// Core is one simulated core.
+type Core struct {
+	cfg  config.Config
+	str  isa.Stream
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+
+	// GlobalCycle, when non-nil, converts a local core cycle into the global
+	// time base used for shared-L2 contention (full-CMP simulation).
+	GlobalCycle func(local uint64) uint64
+
+	freqScale float64
+	l2Lat     uint64
+	memLat    uint64
+
+	// pipeline frontier state
+	nextFetch      uint64 // earliest cycle the next fetch group may start
+	groupLeft      int    // fetch slots left in the current group
+	groupLevel     cache.Level
+	lastFetchBlock uint64
+
+	regReady [isa.NumArchRegs]uint64
+
+	rob     *ring // reorder-buffer slots, released at retire
+	iq      *ring // issue-queue slots, released at issue
+	memRS   *ring
+	fixRS   *ring
+	fpRS    *ring
+	gprFree *ring // physical integer registers, released at retire
+	fprFree *ring
+
+	lsu *fuBank
+	fxu *fuBank
+	fpu *fuBank
+	bru *fuBank
+
+	// mshr bounds outstanding L1D misses: a new miss may not start until a
+	// miss-status register frees.
+	mshr *ring
+
+	retire     *ring // retire-width gating
+	lastRetire uint64
+	frontier   uint64 // retire cycle of the most recent instruction
+
+	ctr Counters
+}
+
+// New builds a core over the given stream, hierarchy and predictor, running
+// at Turbo frequency until SetFreqScale is called.
+func New(cfg config.Config, str isa.Stream, hier *cache.Hierarchy, pred *bpred.Predictor) *Core {
+	c := &Core{
+		cfg:  cfg,
+		str:  str,
+		pred: pred,
+		hier: hier,
+
+		rob:     newRing(cfg.Core.ReorderBuffer),
+		iq:      newRing(cfg.Core.InstructionQueue),
+		memRS:   newRing(cfg.Core.MemRS * cfg.Core.NumLSU),
+		fixRS:   newRing(cfg.Core.FixRS * cfg.Core.NumFXU),
+		fpRS:    newRing(cfg.Core.FPRS * cfg.Core.NumFPU),
+		gprFree: newRing(maxInt(cfg.Core.GPR-32, 1)),
+		fprFree: newRing(maxInt(cfg.Core.FPR-32, 1)),
+
+		lsu:  newFUBank(cfg.Core.NumLSU),
+		mshr: newRing(maxInt(cfg.Core.MSHRs, 1)),
+		fxu:  newFUBank(cfg.Core.NumFXU),
+		fpu:  newFUBank(cfg.Core.NumFPU),
+		bru:  newFUBank(cfg.Core.NumBRU),
+
+		retire: newRing(cfg.Core.RetireWidth),
+	}
+	c.SetFreqScale(1.0)
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetFreqScale changes the core clock to scale f of nominal and rescales the
+// asynchronous-domain latencies (L2, memory) in core cycles.
+func (c *Core) SetFreqScale(f float64) {
+	if f <= 0 || f > 1 {
+		panic("uarch: frequency scale must be in (0,1]")
+	}
+	c.freqScale = f
+	c.l2Lat = uint64(math.Max(1, math.Round(float64(c.cfg.Mem.L2.LatencyCycles)*f)))
+	c.memLat = uint64(math.Max(1, math.Round(float64(c.cfg.Mem.MemoryLatencyCycles)*f)))
+}
+
+// FreqScale returns the current frequency scale.
+func (c *Core) FreqScale() float64 { return c.freqScale }
+
+// Frontier returns the local cycle through which execution has been
+// simulated (the retire cycle of the most recent instruction).
+func (c *Core) Frontier() uint64 { return c.frontier }
+
+// Counters returns a copy of the accumulated counters.
+func (c *Core) Counters() Counters { return c.ctr }
+
+// ResetCounters zeroes the measurement counters (after warmup). Pipeline and
+// cache/predictor state is preserved.
+func (c *Core) ResetCounters() { c.ctr = Counters{} }
+
+// SetCounterCycles fixes the counters' window length (local cycles), used by
+// callers that measure windows in an external time base.
+func (c *Core) SetCounterCycles(cycles uint64) { c.ctr.Cycles = cycles }
+
+// dataLatency returns the load-to-use latency for a data access resolved at
+// level lv, plus any contention wait already expressed in cycles.
+func (c *Core) dataLatency(lv cache.Level) uint64 {
+	switch lv {
+	case cache.LevelL1:
+		return uint64(c.cfg.Mem.L1D.LatencyCycles)
+	case cache.LevelL2:
+		return uint64(c.cfg.Mem.L1D.LatencyCycles) + c.l2Lat
+	default:
+		return uint64(c.cfg.Mem.L1D.LatencyCycles) + c.l2Lat + c.memLat
+	}
+}
+
+func (c *Core) fetchPenalty(lv cache.Level) uint64 {
+	switch lv {
+	case cache.LevelL1:
+		return 0
+	case cache.LevelL2:
+		return c.l2Lat
+	default:
+		return c.l2Lat + c.memLat
+	}
+}
+
+// step processes one dynamic instruction through the timing model. It
+// returns false if the stream is exhausted.
+func (c *Core) step() bool {
+	in, ok := c.str.Next()
+	if !ok {
+		return false
+	}
+
+	// --- Fetch ---
+	if c.groupLeft == 0 {
+		c.groupLeft = c.cfg.Core.FetchWidth
+		blk := in.PC &^ uint64(c.cfg.Mem.L1I.BlockSize-1)
+		lv := cache.LevelL1
+		if blk != c.lastFetchBlock {
+			lv = c.hier.InstrFetch(in.PC)
+			c.lastFetchBlock = blk
+			if lv != cache.LevelL1 {
+				c.ctr.L1IMisses++
+				c.ctr.L2Accesses++
+				if lv == cache.LevelMemory {
+					c.ctr.L2Misses++
+				}
+			}
+		}
+		c.nextFetch += c.fetchPenalty(lv)
+	}
+	fetchCycle := c.nextFetch
+	c.groupLeft--
+	c.ctr.Fetched++
+
+	// --- Dispatch: ROB, IQ, RS and physical-register gating ---
+	dispatch := fetchCycle + frontEndDepth
+	if fa := c.rob.freeAt(); fa > dispatch {
+		dispatch = fa
+	}
+	if fa := c.iq.freeAt(); fa > dispatch {
+		dispatch = fa
+	}
+	var rs *ring
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore:
+		rs = c.memRS
+	case isa.OpFP:
+		rs = c.fpRS
+	default:
+		rs = c.fixRS
+	}
+	if fa := rs.freeAt(); fa > dispatch {
+		dispatch = fa
+	}
+	if in.HasDest() {
+		reg := c.gprFree
+		if in.Dest.IsFP() {
+			reg = c.fprFree
+		}
+		if fa := reg.freeAt(); fa > dispatch {
+			dispatch = fa
+		}
+	}
+
+	// --- Source readiness ---
+	srcReady := dispatch
+	for _, s := range [2]isa.Reg{in.Src1, in.Src2} {
+		if s == isa.NoReg {
+			continue
+		}
+		c.ctr.RegReads++
+		if r := c.regReady[s]; r > srcReady {
+			srcReady = r
+		}
+	}
+
+	// --- Issue & execute ---
+	earliest := srcReady
+	if d := dispatch + 1; d > earliest {
+		earliest = d
+	}
+	var issue, done uint64
+	switch in.Op {
+	case isa.OpFX:
+		issue = c.fxu.issue(earliest)
+		done = issue + uint64(c.cfg.Core.FXULatency)
+		c.ctr.FXOps++
+	case isa.OpFP:
+		issue = c.fpu.issue(earliest)
+		done = issue + uint64(c.cfg.Core.FPULatency)
+		c.ctr.FPOps++
+	case isa.OpLoad, isa.OpStore:
+		issue = c.lsu.issue(earliest)
+		write := in.Op == isa.OpStore
+		var lv cache.Level
+		var wait uint64
+		if c.GlobalCycle != nil {
+			// Pre-check L1 to avoid charging contention for L1 hits.
+			lv, wait = c.hier.DataAccessAtRW(in.Addr, c.GlobalCycle(issue), write)
+			// Contention wait is in global cycles; convert back to local.
+			wait = uint64(math.Round(float64(wait) * c.freqScale))
+		} else {
+			lv = c.hier.DataAccessRW(in.Addr, write)
+		}
+		missDone := issue + c.dataLatency(lv) + wait
+		if lv != cache.LevelL1 {
+			c.ctr.L1DMisses++
+			c.ctr.L2Accesses++
+			if lv == cache.LevelMemory {
+				c.ctr.L2Misses++
+			}
+			// MSHR gating: the miss cannot start until a miss-status
+			// register frees, bounding memory-level parallelism.
+			if fa := c.mshr.freeAt(); fa > issue {
+				c.ctr.MSHRWait += fa - issue
+				missDone += fa - issue
+			}
+			c.mshr.push(missDone)
+		}
+		if in.Op == isa.OpLoad {
+			done = missDone
+			c.ctr.Loads++
+		} else {
+			// Stores complete at issue from the dependence perspective; the
+			// write drains in the background (the MSHR still tracks the
+			// line fill on a store miss).
+			done = issue + 1
+			c.ctr.Stores++
+		}
+	case isa.OpBranch:
+		issue = c.bru.issue(earliest)
+		done = issue + uint64(c.cfg.Core.BRULatency)
+		c.ctr.Branches++
+	}
+	c.ctr.IQWaitSum += issue - dispatch
+
+	// --- Branch resolution & redirect ---
+	if in.Op == isa.OpBranch {
+		mis := c.pred.Update(in.PC, in.Taken)
+		if mis {
+			c.ctr.Mispredicts++
+			redirect := done + uint64(c.cfg.Core.MispredictPenalty)
+			if redirect > c.nextFetch {
+				c.nextFetch = redirect
+			}
+			c.groupLeft = 0
+		} else if in.Taken {
+			// Correctly predicted taken branch: one redirect bubble.
+			if fetchCycle+1 > c.nextFetch {
+				c.nextFetch = fetchCycle + 1
+			}
+			c.groupLeft = 0
+		}
+	}
+	if c.groupLeft == 0 && c.nextFetch <= fetchCycle {
+		c.nextFetch = fetchCycle + 1
+	}
+
+	// --- Writeback ---
+	if in.HasDest() {
+		c.regReady[in.Dest] = done
+		c.ctr.RegWrites++
+	}
+
+	// --- In-order retire ---
+	retire := done + 1
+	if r := c.lastRetire; r > retire {
+		retire = r
+	}
+	if r := c.retire.freeAt() + 1; r > retire {
+		retire = r
+	}
+	c.retire.push(retire)
+	c.lastRetire = retire
+	c.frontier = retire
+	c.ctr.Committed++
+
+	// --- Release structural resources ---
+	c.rob.push(retire)
+	c.iq.push(issue)
+	rs.push(issue + 1)
+	if in.HasDest() {
+		if in.Dest.IsFP() {
+			c.fprFree.push(retire)
+		} else {
+			c.gprFree.push(retire)
+		}
+	}
+	return true
+}
+
+// Run advances the core until its retire frontier reaches at least
+// `untilCycle` (a local-cycle timestamp) and returns false if the stream
+// ended first.
+func (c *Core) Run(untilCycle uint64) bool {
+	for c.frontier < untilCycle {
+		if !c.step() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunInstructions advances the core by n dynamic instructions; it returns
+// false if the stream ended first.
+func (c *Core) RunInstructions(n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if !c.step() {
+			return false
+		}
+	}
+	return true
+}
+
+// Measure executes `warmup` instructions, then measures a window of `n`
+// instructions and returns the per-unit activity for it. Instruction-based
+// windows keep the measured program region identical across DVFS modes.
+func (c *Core) Measure(warmup, n uint64) power.Activity {
+	c.RunInstructions(warmup)
+	start := c.frontier
+	c.ResetCounters()
+	c.RunInstructions(n)
+	elapsed := c.frontier - start
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	c.ctr.Cycles = elapsed
+	return c.Activity()
+}
+
+// Activity converts the current counters into power-model activity factors.
+func (c *Core) Activity() power.Activity {
+	ct := c.ctr
+	cy := float64(ct.Cycles)
+	if cy == 0 {
+		cy = 1
+	}
+	util := func(events uint64, perCycle float64) float64 {
+		u := float64(events) / (cy * perCycle)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	return power.Activity{
+		Fetch:   util(ct.Fetched, float64(c.cfg.Core.FetchWidth)),
+		Decode:  util(ct.Fetched, float64(c.cfg.Core.DispatchWidth)),
+		Issue:   util(ct.IQWaitSum, float64(c.cfg.Core.InstructionQueue)),
+		FXU:     util(ct.FXOps, float64(c.cfg.Core.NumFXU)),
+		FPU:     util(ct.FPOps, float64(c.cfg.Core.NumFPU)),
+		LSU:     util(ct.Loads+ct.Stores, float64(c.cfg.Core.NumLSU)),
+		BRU:     util(ct.Branches, float64(c.cfg.Core.NumBRU)),
+		RegFile: util(ct.RegReads+ct.RegWrites, float64(c.cfg.Core.DispatchWidth)*3),
+		// 0.2 accesses/cycle saturates a core's share of L2 bandwidth.
+		L2:        util(ct.L2Accesses, 0.2),
+		Committed: ct.Committed,
+		Cycles:    ct.Cycles,
+	}
+}
+
+// IPC returns committed instructions per cycle over the counter window.
+func (c *Core) IPC() float64 {
+	if c.ctr.Cycles == 0 {
+		return 0
+	}
+	return float64(c.ctr.Committed) / float64(c.ctr.Cycles)
+}

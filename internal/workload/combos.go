@@ -1,0 +1,97 @@
+package workload
+
+import "fmt"
+
+// Combo is one benchmark-to-core assignment from Table 2 (or §6's 8-way
+// merges). Core i runs Benchmarks[i].
+type Combo struct {
+	// ID is a short stable identifier used by the CLI and reports.
+	ID string
+	// Benchmarks lists benchmark names, one per core.
+	Benchmarks []string
+	// Aggregate is the paper's qualitative characterization.
+	Aggregate string
+}
+
+// Cores returns the CMP width the combo targets.
+func (c Combo) Cores() int { return len(c.Benchmarks) }
+
+// Specs resolves the benchmark names.
+func (c Combo) Specs() ([]Spec, error) {
+	out := make([]Spec, len(c.Benchmarks))
+	for i, n := range c.Benchmarks {
+		s, err := Lookup(n)
+		if err != nil {
+			return nil, fmt.Errorf("combo %s: %w", c.ID, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Table 2 benchmark combinations, plus the two 8-way merges of §6.1 and the
+// single-core reference point of Fig 11.
+var (
+	// TwoWay holds the 2-way CMP rows of Table 2 (Fig 8 order).
+	TwoWay = []Combo{
+		{ID: "2w-ammp-art", Benchmarks: []string{"ammp", "art"}, Aggregate: "Low CPU utilization, high memory utilization"},
+		{ID: "2w-gcc-mesa", Benchmarks: []string{"gcc", "mesa"}, Aggregate: "High CPU utilization, low memory utilization"},
+		{ID: "2w-crafty-facerec", Benchmarks: []string{"crafty", "facerec"}, Aggregate: "Very high CPU utilization, very low memory utilization"},
+		{ID: "2w-art-mcf", Benchmarks: []string{"art", "mcf"}, Aggregate: "Very low CPU utilization, very high memory utilization"},
+	}
+
+	// FourWay holds the 4-way CMP rows of Table 2 (Fig 9 order).
+	FourWay = []Combo{
+		{ID: "4w-ammp-mcf-crafty-art", Benchmarks: []string{"ammp", "mcf", "crafty", "art"}, Aggregate: "Low CPU utilization, high memory utilization"},
+		{ID: "4w-facerec-gcc-mesa-vortex", Benchmarks: []string{"facerec", "gcc", "mesa", "vortex"}, Aggregate: "High CPU utilization, low memory utilization"},
+		{ID: "4w-sixtrack-gap-perlbmk-wupwise", Benchmarks: []string{"sixtrack", "gap", "perlbmk", "wupwise"}, Aggregate: "Very high CPU utilization, very low memory utilization"},
+		{ID: "4w-mcf-mcf-art-art", Benchmarks: []string{"mcf", "mcf", "art", "art"}, Aggregate: "Very low CPU utilization, very high memory utilization"},
+	}
+
+	// EightWay merges pairs of 4-way combos as in Fig 10.
+	EightWay = []Combo{
+		{ID: "8w-mixed", Benchmarks: []string{"ammp", "mcf", "crafty", "art", "facerec", "gcc", "mesa", "vortex"}, Aggregate: "Mixed CPU/memory utilization"},
+		{ID: "8w-corners", Benchmarks: []string{"sixtrack", "gap", "perlbmk", "wupwise", "mcf", "mcf", "art", "art"}, Aggregate: "CPU-bound and memory-bound corners"},
+	}
+
+	// Fig3Alternate is the (ammp, crafty, art, sixtrack) combination of
+	// Fig 3(c)/(d): the 4-way baseline with mcf swapped for sixtrack.
+	Fig3Alternate = Combo{ID: "4w-ammp-crafty-art-sixtrack", Benchmarks: []string{"ammp", "crafty", "art", "sixtrack"}, Aggregate: "Memory-bound benchmark replaced with CPU-bound"}
+)
+
+// Combos returns all Table 2 combinations for the given core count
+// (1, 2, 4 or 8). For n == 1 it returns one single-benchmark combo per
+// benchmark in the paper's 4-way baseline, matching Fig 11's single-core
+// reference.
+func Combos(n int) ([]Combo, error) {
+	switch n {
+	case 1:
+		base := []string{"ammp", "mcf", "crafty", "art"}
+		out := make([]Combo, len(base))
+		for i, b := range base {
+			out[i] = Combo{ID: "1w-" + b, Benchmarks: []string{b}, Aggregate: "single core"}
+		}
+		return out, nil
+	case 2:
+		return TwoWay, nil
+	case 4:
+		return FourWay, nil
+	case 8:
+		return EightWay, nil
+	default:
+		return nil, fmt.Errorf("workload: no Table 2 combos for %d cores", n)
+	}
+}
+
+// FindCombo looks a combo up by ID across all widths.
+func FindCombo(id string) (Combo, error) {
+	all := [][]Combo{TwoWay, FourWay, EightWay, {Fig3Alternate}}
+	for _, group := range all {
+		for _, c := range group {
+			if c.ID == id {
+				return c, nil
+			}
+		}
+	}
+	return Combo{}, fmt.Errorf("workload: unknown combo %q", id)
+}

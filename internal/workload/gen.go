@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math/rand"
+
+	"gpm/internal/isa"
+)
+
+// Generator synthesizes a deterministic dynamic instruction stream for one
+// benchmark phase. It implements isa.Stream.
+//
+// The stream is loop-structured: instructions execute in bodies of 8–32
+// instructions terminated by a backward branch that iterates ~LoopTrip times
+// before falling through to a new body elsewhere in the code footprint. Data
+// references split between a hot region (cache-friendly) and a cold region
+// (strided walk sized to defeat the hierarchy) according to the phase's
+// ColdFrac.
+// Distinct address spaces keep cache tags distinct across regions: code,
+// hot (reused) data, and cold (streamed/chased) data. Simulators that warm
+// caches before sampling pre-touch [HotBase, HotBase+HotSetBytes) and
+// [ColdBase, ColdBase+ColdSetBytes) to establish steady-state residency.
+const (
+	CodeBase uint64 = 0x1000_0000
+	HotBase  uint64 = 0x4000_0000
+	ColdBase uint64 = 0x8000_0000
+)
+
+type Generator struct {
+	spec  Spec
+	phase Phase
+	rng   *rand.Rand
+
+	// resolved phase parameters
+	cum     [isa.NumOps]float64 // cumulative mix distribution
+	depDist float64
+	cold    float64
+
+	seq uint64
+
+	// loop state
+	loopStart uint64
+	bodyLen   int
+	bodyPos   int
+	trip      int
+	tripGoal  int
+
+	// register dependence state: ring of recent destination registers
+	recentInt [16]isa.Reg
+	recentFP  [16]isa.Reg
+	nInt, nFP int
+
+	// memory state
+	hotPtr   uint64
+	coldPtr  uint64
+	hotBase  uint64
+	coldBase uint64
+	codeBase uint64
+}
+
+// NewGenerator builds the stream for spec's phase (index into spec.Phases)
+// with the given seed. The same (spec, phase, seed) triple always yields an
+// identical stream.
+func NewGenerator(spec Spec, phase int, seed int64) *Generator {
+	if phase < 0 || phase >= len(spec.Phases) {
+		phase = 0
+	}
+	p := spec.Phases[phase]
+	g := &Generator{
+		spec:  spec,
+		phase: p,
+		rng:   rand.New(rand.NewSource(seed ^ int64(phase)*0x7f4a7c159e3779b9)),
+	}
+	mix := spec.scaledMix(p)
+	total := mix.sum()
+	g.cum[isa.OpFX] = mix.FX / total
+	g.cum[isa.OpFP] = g.cum[isa.OpFX] + mix.FPOp/total
+	g.cum[isa.OpLoad] = g.cum[isa.OpFP] + mix.Load/total
+	g.cum[isa.OpStore] = g.cum[isa.OpLoad] + mix.Store/total
+	g.cum[isa.OpBranch] = 1.0
+	g.depDist = spec.scaledDepDist(p)
+	g.cold = p.ColdFrac
+
+	g.codeBase = CodeBase
+	g.loopStart = CodeBase
+	g.hotBase = HotBase
+	g.coldBase = ColdBase
+	g.hotPtr = g.hotBase
+	g.coldPtr = g.coldBase
+	// Seed the dependence rings so early instructions have sources.
+	for i := range g.recentInt {
+		g.recentInt[i] = isa.Reg(i % 32)
+		g.recentFP[i] = isa.Reg(32 + i%32)
+	}
+	g.nInt, g.nFP = len(g.recentInt), len(g.recentFP)
+	g.newBody()
+	return g
+}
+
+// PhaseName returns the generator's phase name (for diagnostics).
+func (g *Generator) PhaseName() string { return g.phase.Name }
+
+// Relocate shifts the generator's code/hot/cold address spaces by offset.
+// Multi-core simulations give each core a disjoint offset so co-runners
+// contend for shared-cache capacity instead of aliasing onto the same lines.
+// Must be called before the first Next.
+func (g *Generator) Relocate(offset uint64) {
+	if g.seq != 0 {
+		panic("workload: Relocate after generation started")
+	}
+	g.codeBase += offset
+	g.loopStart += offset
+	g.hotBase += offset
+	g.coldBase += offset
+	g.hotPtr += offset
+	g.coldPtr += offset
+}
+
+// Bases returns the generator's current code, hot and cold base addresses
+// (after any relocation), for cache warmup.
+func (g *Generator) Bases() (code, hot, cold uint64) {
+	return g.codeBase, g.hotBase, g.coldBase
+}
+
+// SpecOf returns the benchmark spec this generator was built from.
+func (g *Generator) SpecOf() Spec { return g.spec }
+
+func (g *Generator) newBody() {
+	g.bodyLen = 8 + g.rng.Intn(25)
+	g.bodyPos = 0
+	g.trip = 0
+	// Trip counts vary ±50% around the spec mean.
+	t := g.spec.LoopTrip
+	g.tripGoal = t/2 + g.rng.Intn(t+1)
+	if g.tripGoal < 2 {
+		g.tripGoal = 2
+	}
+	// Place the body at a random aligned spot within the code footprint.
+	span := uint64(g.spec.CodeFootprint)
+	g.loopStart = g.codeBase + (uint64(g.rng.Int63())%(span/64))*64
+}
+
+// pickOp samples an instruction class from the phase mix. The final slot of
+// each body is always a branch, and branches never appear mid-body (keeps
+// loop structure clean); the mid-body mix is renormalized accordingly.
+func (g *Generator) pickOp() isa.Op {
+	if g.bodyPos == g.bodyLen-1 {
+		return isa.OpBranch
+	}
+	// Sample from the non-branch portion.
+	r := g.rng.Float64() * g.cum[isa.OpStore]
+	switch {
+	case r < g.cum[isa.OpFX]:
+		return isa.OpFX
+	case r < g.cum[isa.OpFP]:
+		return isa.OpFP
+	case r < g.cum[isa.OpLoad]:
+		return isa.OpLoad
+	default:
+		return isa.OpStore
+	}
+}
+
+// Architectural registers 28–31 (int) and 60–63 (fp) are reserved as
+// loop-invariant values: the generator never writes them, so reads are always
+// ready and expose ILP.
+const (
+	intInvariantBase = 28
+	fpInvariantBase  = 60
+	numInvariants    = 4
+)
+
+// pickSrc selects a source register: with probability InvariantFrac a
+// loop-invariant register, otherwise a recent destination at an
+// approximately geometric dependence distance with the phase's mean.
+func (g *Generator) pickSrc(fp bool) isa.Reg {
+	if g.rng.Float64() < g.spec.InvariantFrac {
+		if fp {
+			return isa.Reg(fpInvariantBase + g.rng.Intn(numInvariants))
+		}
+		return isa.Reg(intInvariantBase + g.rng.Intn(numInvariants))
+	}
+	// Geometric distance with mean depDist, clamped to the ring.
+	d := 1
+	p := 1.0 / g.depDist
+	for d < 15 && g.rng.Float64() > p {
+		d++
+	}
+	if fp {
+		return g.recentFP[(g.nFP-d+len(g.recentFP)*4)%len(g.recentFP)]
+	}
+	return g.recentInt[(g.nInt-d+len(g.recentInt)*4)%len(g.recentInt)]
+}
+
+func (g *Generator) pushDest(r isa.Reg) {
+	if r.IsFP() {
+		g.recentFP[g.nFP%len(g.recentFP)] = r
+		g.nFP++
+	} else {
+		g.recentInt[g.nInt%len(g.recentInt)] = r
+		g.nInt++
+	}
+}
+
+func (g *Generator) dataAddr() uint64 {
+	if g.rng.Float64() < g.cold {
+		// Cold region: strided walk; stride >= block size ⇒ every access is
+		// a new block until the region wraps.
+		g.coldPtr += uint64(g.spec.ColdStride)
+		if g.coldPtr >= g.coldBase+uint64(g.spec.ColdSetBytes) {
+			g.coldPtr = g.coldBase + uint64(g.rng.Intn(256))*8
+		}
+		return g.coldPtr
+	}
+	// Hot region: small strides with occasional jumps, stays resident.
+	g.hotPtr += 8
+	if g.rng.Intn(16) == 0 {
+		g.hotPtr = g.hotBase + uint64(g.rng.Intn(g.spec.HotSetBytes/8))*8
+	}
+	if g.hotPtr >= g.hotBase+uint64(g.spec.HotSetBytes) {
+		g.hotPtr = g.hotBase
+	}
+	return g.hotPtr
+}
+
+// Next implements isa.Stream. Synthetic streams never exhaust.
+func (g *Generator) Next() (isa.Instruction, bool) {
+	op := g.pickOp()
+	in := isa.Instruction{
+		Seq:  g.seq,
+		PC:   g.loopStart + uint64(g.bodyPos)*4,
+		Op:   op,
+		Dest: isa.NoReg,
+		Src1: isa.NoReg,
+		Src2: isa.NoReg,
+	}
+	switch op {
+	case isa.OpFX:
+		in.Dest = isa.Reg(g.rng.Intn(intInvariantBase))
+		in.Src1 = g.pickSrc(false)
+		if g.rng.Float64() < 0.7 {
+			in.Src2 = g.pickSrc(false)
+		}
+		g.pushDest(in.Dest)
+	case isa.OpFP:
+		in.Dest = isa.Reg(32 + g.rng.Intn(fpInvariantBase-32))
+		in.Src1 = g.pickSrc(true)
+		if g.rng.Float64() < 0.8 {
+			in.Src2 = g.pickSrc(true)
+		}
+		g.pushDest(in.Dest)
+	case isa.OpLoad:
+		fp := g.rng.Float64() < g.fpShare()
+		if fp {
+			in.Dest = isa.Reg(32 + g.rng.Intn(fpInvariantBase-32))
+		} else {
+			in.Dest = isa.Reg(g.rng.Intn(intInvariantBase))
+		}
+		in.Src1 = g.pickSrc(false) // address register
+		in.Addr = g.dataAddr()
+		g.pushDest(in.Dest)
+	case isa.OpStore:
+		in.Src1 = g.pickSrc(false) // address register
+		fp := g.rng.Float64() < g.fpShare()
+		in.Src2 = g.pickSrc(fp) // data register
+		in.Addr = g.dataAddr()
+	case isa.OpBranch:
+		in.Src1 = g.pickSrc(false)
+		g.trip++
+		if g.rng.Float64() < g.spec.BranchNoise {
+			// Data-dependent branch: unpredictable outcome.
+			in.Taken = g.rng.Intn(2) == 0
+		} else {
+			in.Taken = g.trip < g.tripGoal
+		}
+		in.Target = g.loopStart
+	}
+
+	g.seq++
+	g.bodyPos++
+	if g.bodyPos >= g.bodyLen {
+		if op == isa.OpBranch && in.Taken {
+			g.bodyPos = 0 // loop back: same body PCs again
+		} else {
+			g.newBody()
+		}
+	}
+	return in, true
+}
+
+// fpShare returns the fraction of data traffic tied to FP values; used to
+// type load destinations and store sources.
+func (g *Generator) fpShare() float64 {
+	total := g.cum[isa.OpStore] // non-branch mass
+	if total == 0 {
+		return 0
+	}
+	fp := g.cum[isa.OpFP] - g.cum[isa.OpFX]
+	fx := g.cum[isa.OpFX]
+	if fp+fx == 0 {
+		return 0
+	}
+	return fp / (fp + fx)
+}
+
+var _ isa.Stream = (*Generator)(nil)

@@ -1,0 +1,476 @@
+// Package workload models the 12 SPEC CPU2000 benchmarks the paper studies
+// (§3.2, Table 2) as synthetic, deterministic instruction-stream generators.
+//
+// We do not have the SPEC binaries or the authors' Turandot traces, so each
+// benchmark is described by the microarchitecture-visible properties that
+// drive the paper's results:
+//
+//   - instruction mix (FXU/FPU/load/store/branch fractions),
+//   - dependence distance (available ILP),
+//   - branch behaviour (loop trip counts, data-dependent randomness),
+//   - memory behaviour (hot working set that caches capture vs a cold
+//     region that misses to memory), and
+//   - a repeating phase schedule ("loop-oriented execution semantics", §2)
+//     that modulates those properties over time.
+//
+// The constants below are calibrated qualitatively against the CPU/memory
+// intensity labels of Table 2 (e.g. art and mcf "very high memory
+// utilization"; sixtrack, crafty "very high CPU utilization") and the corner
+// behaviours of Fig 2 (sixtrack degrades ≈ linearly with frequency; mcf is
+// nearly frequency-insensitive).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite tags a benchmark as SPECint or SPECfp.
+type Suite uint8
+
+const (
+	// INT marks a SPEC CPU2000 integer benchmark.
+	INT Suite = iota
+	// FP marks a SPEC CPU2000 floating-point benchmark.
+	FP
+)
+
+// String implements fmt.Stringer.
+func (s Suite) String() string {
+	if s == INT {
+		return "INT"
+	}
+	return "FP"
+}
+
+// Mix is an instruction-class distribution. Fields are fractions that the
+// generator normalizes; they need not sum exactly to 1.
+type Mix struct {
+	FX, FPOp, Load, Store, Branch float64
+}
+
+func (m Mix) sum() float64 { return m.FX + m.FPOp + m.Load + m.Store + m.Branch }
+
+// Phase is one region of execution with distinct behaviour. A benchmark's
+// phase schedule repeats cyclically, mimicking loop-oriented phase recurrence.
+type Phase struct {
+	// Name identifies the phase in traces and reports.
+	Name string
+	// Weight is the fraction of execution time spent in this phase per
+	// schedule period.
+	Weight float64
+	// ColdFrac is the fraction of memory operations that touch the cold
+	// (cache-hostile) region during this phase. This is the main memory-
+	// boundedness knob.
+	ColdFrac float64
+	// MixScale multiplies the benchmark's base mix per class; zero fields
+	// mean "unchanged" (scale 1).
+	MixScale Mix
+	// DepDistScale scales the benchmark's dependence distance (>1 = more
+	// ILP) during the phase. Zero means unchanged.
+	DepDistScale float64
+}
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Suite Suite
+
+	// BaseMix is the steady-state instruction mix.
+	BaseMix Mix
+	// DepDist is the mean register dependence distance in instructions.
+	// Larger values expose more ILP to the out-of-order core.
+	DepDist float64
+	// InvariantFrac is the probability that a source operand reads a
+	// loop-invariant value (always ready) instead of a recently produced one.
+	// Higher values expose more ILP; pointer-chasing codes sit low.
+	InvariantFrac float64
+	// LoopTrip is the mean loop trip count; branches close loops, so large
+	// trip counts mean highly predictable branches.
+	LoopTrip int
+	// BranchNoise is the probability that a branch outcome is data-dependent
+	// random rather than loop-structured (drives mispredictions).
+	BranchNoise float64
+	// CodeFootprint is the static code size in bytes (drives L1I behaviour).
+	CodeFootprint int
+
+	// HotSetBytes is the size of the frequently reused data region.
+	HotSetBytes int
+	// ColdSetBytes is the size of the streamed / pointer-chased region that
+	// defeats the cache hierarchy.
+	ColdSetBytes int
+	// ColdStride is the access stride within the cold region; a stride at
+	// least as large as the block size makes every cold access a miss.
+	ColdStride int
+
+	// Phases is the repeating phase schedule. Must be non-empty with
+	// positive weights.
+	Phases []Phase
+	// PhasePeriodUs is the duration of one full pass over the schedule, in
+	// microseconds of Turbo-frequency execution.
+	PhasePeriodUs int
+
+	// TotalInstructions is the nominal dynamic length of the benchmark; the
+	// trace composer uses it to mark completion (§5.1: simulation terminates
+	// when the first benchmark completes).
+	TotalInstructions uint64
+}
+
+// Validate reports structural problems in the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec has empty name")
+	}
+	if s.BaseMix.sum() <= 0 {
+		return fmt.Errorf("workload %s: base mix sums to zero", s.Name)
+	}
+	if s.DepDist < 1 {
+		return fmt.Errorf("workload %s: DepDist %v < 1", s.Name, s.DepDist)
+	}
+	if s.InvariantFrac < 0 || s.InvariantFrac > 1 {
+		return fmt.Errorf("workload %s: InvariantFrac %v outside [0,1]", s.Name, s.InvariantFrac)
+	}
+	if s.LoopTrip < 2 {
+		return fmt.Errorf("workload %s: LoopTrip %d < 2", s.Name, s.LoopTrip)
+	}
+	if s.HotSetBytes <= 0 || s.ColdSetBytes <= 0 || s.ColdStride <= 0 {
+		return fmt.Errorf("workload %s: memory regions must be positive", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", s.Name)
+	}
+	var w float64
+	for i, p := range s.Phases {
+		if p.Weight <= 0 {
+			return fmt.Errorf("workload %s: phase %d (%s) has non-positive weight", s.Name, i, p.Name)
+		}
+		if p.ColdFrac < 0 || p.ColdFrac > 1 {
+			return fmt.Errorf("workload %s: phase %d (%s) ColdFrac %v outside [0,1]", s.Name, i, p.Name, p.ColdFrac)
+		}
+		w += p.Weight
+	}
+	if s.PhasePeriodUs <= 0 {
+		return fmt.Errorf("workload %s: PhasePeriodUs must be positive", s.Name)
+	}
+	if s.TotalInstructions == 0 {
+		return fmt.Errorf("workload %s: TotalInstructions must be positive", s.Name)
+	}
+	_ = w
+	return nil
+}
+
+// scaled applies a phase's mix scaling to the base mix.
+func (s Spec) scaledMix(p Phase) Mix {
+	sc := func(base, scale float64) float64 {
+		if scale == 0 {
+			return base
+		}
+		return base * scale
+	}
+	return Mix{
+		FX:     sc(s.BaseMix.FX, p.MixScale.FX),
+		FPOp:   sc(s.BaseMix.FPOp, p.MixScale.FPOp),
+		Load:   sc(s.BaseMix.Load, p.MixScale.Load),
+		Store:  sc(s.BaseMix.Store, p.MixScale.Store),
+		Branch: sc(s.BaseMix.Branch, p.MixScale.Branch),
+	}
+}
+
+func (s Spec) scaledDepDist(p Phase) float64 {
+	if p.DepDistScale == 0 {
+		return s.DepDist
+	}
+	d := s.DepDist * p.DepDistScale
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// registry holds the 12 benchmark models keyed by name.
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("workload: duplicate benchmark " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the benchmark spec by SPEC name (e.g. "mcf").
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup that panics on unknown names; intended for static
+// experiment tables.
+func MustLookup(name string) Spec {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Common building blocks for the specs below.
+const (
+	kib = 1024
+	mib = 1024 * kib
+)
+
+func init() {
+	// Very memory-bound corner (Table 2: "very low CPU utilization, very
+	// high memory utilization"). mcf is the paper's Fig 2 lower-bound corner:
+	// performance barely moves with frequency.
+	register(Spec{
+		Name: "mcf", Suite: INT,
+		BaseMix:       Mix{FX: 0.32, Load: 0.36, Store: 0.10, Branch: 0.22},
+		DepDist:       3.5,
+		InvariantFrac: 0.35,
+		LoopTrip:      12,
+		BranchNoise:   0.10,
+		CodeFootprint: 24 * kib,
+		HotSetBytes:   16 * kib,
+		ColdSetBytes:  24 * mib,
+		ColdStride:    136, // > block size and co-prime-ish: pointer chasing
+		Phases: []Phase{
+			{Name: "chase", Weight: 0.6, ColdFrac: 0.16},
+			{Name: "update", Weight: 0.25, ColdFrac: 0.11, MixScale: Mix{FX: 1.2, Load: 0.9, Store: 1.3, Branch: 1, FPOp: 1}},
+			{Name: "scan", Weight: 0.15, ColdFrac: 0.07, DepDistScale: 1.4},
+		},
+		PhasePeriodUs:     2000,
+		TotalInstructions: 330_000_000,
+	})
+
+	register(Spec{
+		Name: "art", Suite: FP,
+		BaseMix:       Mix{FX: 0.18, FPOp: 0.26, Load: 0.36, Store: 0.08, Branch: 0.12},
+		DepDist:       3.4,
+		InvariantFrac: 0.35,
+		LoopTrip:      64,
+		BranchNoise:   0.02,
+		CodeFootprint: 16 * kib,
+		HotSetBytes:   24 * kib,
+		ColdSetBytes:  16 * mib,
+		ColdStride:    128, // streaming over neural-net weights
+		Phases: []Phase{
+			{Name: "match", Weight: 0.55, ColdFrac: 0.26},
+			{Name: "train", Weight: 0.45, ColdFrac: 0.20, MixScale: Mix{FPOp: 1.25, FX: 1, Load: 0.95, Store: 1.2, Branch: 1}},
+		},
+		PhasePeriodUs:     1500,
+		TotalInstructions: 360_000_000,
+	})
+
+	// Moderately memory-bound (ammp pairs with art/mcf in the "low CPU, high
+	// memory" combos, but with more phase variability).
+	register(Spec{
+		Name: "ammp", Suite: FP,
+		BaseMix:       Mix{FX: 0.16, FPOp: 0.34, Load: 0.30, Store: 0.09, Branch: 0.11},
+		DepDist:       3.5,
+		InvariantFrac: 0.32,
+		LoopTrip:      24,
+		BranchNoise:   0.04,
+		CodeFootprint: 32 * kib,
+		HotSetBytes:   28 * kib,
+		ColdSetBytes:  8 * mib,
+		ColdStride:    192,
+		Phases: []Phase{
+			{Name: "neighbor", Weight: 0.4, ColdFrac: 0.24},
+			{Name: "force", Weight: 0.35, ColdFrac: 0.06, MixScale: Mix{FPOp: 1.4, Load: 0.8, FX: 1, Store: 1, Branch: 1}, DepDistScale: 1.5},
+			{Name: "update", Weight: 0.25, ColdFrac: 0.15},
+		},
+		PhasePeriodUs:     2500,
+		TotalInstructions: 390_000_000,
+	})
+
+	// CPU-bound corner (Fig 2 upper bound: degradation tracks frequency).
+	register(Spec{
+		Name: "sixtrack", Suite: FP,
+		BaseMix:       Mix{FX: 0.18, FPOp: 0.44, Load: 0.22, Store: 0.06, Branch: 0.10},
+		DepDist:       5.0,
+		InvariantFrac: 0.5,
+		LoopTrip:      200,
+		BranchNoise:   0.005,
+		CodeFootprint: 20 * kib,
+		HotSetBytes:   20 * kib,
+		ColdSetBytes:  192 * kib, // fits L2: occasional L1 misses only
+		ColdStride:    64,
+		Phases: []Phase{
+			{Name: "track", Weight: 0.8, ColdFrac: 0.05, DepDistScale: 1.2},
+			{Name: "io", Weight: 0.2, ColdFrac: 0.12, MixScale: Mix{FX: 1.3, FPOp: 0.7, Load: 1.1, Store: 1.2, Branch: 1}},
+		},
+		PhasePeriodUs:     3000,
+		TotalInstructions: 540_000_000,
+	})
+
+	register(Spec{
+		Name: "crafty", Suite: INT,
+		BaseMix:       Mix{FX: 0.48, Load: 0.27, Store: 0.07, Branch: 0.18},
+		DepDist:       4.0,
+		InvariantFrac: 0.42,
+		LoopTrip:      8,
+		BranchNoise:   0.07,
+		CodeFootprint: 96 * kib,
+		HotSetBytes:   30 * kib,
+		ColdSetBytes:  256 * kib, // mostly L2-resident
+		ColdStride:    72,
+		Phases: []Phase{
+			{Name: "search", Weight: 0.65, ColdFrac: 0.08, DepDistScale: 1.1},
+			{Name: "eval", Weight: 0.35, ColdFrac: 0.15, MixScale: Mix{FX: 1.15, Load: 1.1, Store: 1, Branch: 0.9, FPOp: 1}},
+		},
+		PhasePeriodUs:     1800,
+		TotalInstructions: 510_000_000,
+	})
+
+	register(Spec{
+		Name: "facerec", Suite: FP,
+		BaseMix:       Mix{FX: 0.20, FPOp: 0.38, Load: 0.26, Store: 0.06, Branch: 0.10},
+		DepDist:       4.5,
+		InvariantFrac: 0.46,
+		LoopTrip:      128,
+		BranchNoise:   0.01,
+		CodeFootprint: 24 * kib,
+		HotSetBytes:   26 * kib,
+		ColdSetBytes:  256 * kib,
+		ColdStride:    64,
+		Phases: []Phase{
+			{Name: "graph", Weight: 0.7, ColdFrac: 0.07, DepDistScale: 1.15},
+			{Name: "gabor", Weight: 0.3, ColdFrac: 0.18, MixScale: Mix{FPOp: 1.2, FX: 1, Load: 1.05, Store: 1, Branch: 1}},
+		},
+		PhasePeriodUs:     2200,
+		TotalInstructions: 528_000_000,
+	})
+
+	register(Spec{
+		Name: "gap", Suite: INT,
+		BaseMix:       Mix{FX: 0.46, Load: 0.28, Store: 0.09, Branch: 0.17},
+		DepDist:       3.8,
+		InvariantFrac: 0.42,
+		LoopTrip:      32,
+		BranchNoise:   0.03,
+		CodeFootprint: 64 * kib,
+		HotSetBytes:   28 * kib,
+		ColdSetBytes:  384 * kib,
+		ColdStride:    80,
+		Phases: []Phase{
+			{Name: "arith", Weight: 0.6, ColdFrac: 0.06, DepDistScale: 1.1},
+			{Name: "collect", Weight: 0.4, ColdFrac: 0.20, MixScale: Mix{Load: 1.2, Store: 1.3, FX: 0.9, Branch: 1, FPOp: 1}},
+		},
+		PhasePeriodUs:     2600,
+		TotalInstructions: 516_000_000,
+	})
+
+	register(Spec{
+		Name: "perlbmk", Suite: INT,
+		BaseMix:       Mix{FX: 0.42, Load: 0.30, Store: 0.10, Branch: 0.18},
+		DepDist:       3.6,
+		InvariantFrac: 0.4,
+		LoopTrip:      10,
+		BranchNoise:   0.05,
+		CodeFootprint: 128 * kib,
+		HotSetBytes:   30 * kib,
+		ColdSetBytes:  256 * kib,
+		ColdStride:    88,
+		Phases: []Phase{
+			{Name: "interp", Weight: 0.7, ColdFrac: 0.09},
+			{Name: "regex", Weight: 0.3, ColdFrac: 0.05, MixScale: Mix{FX: 1.2, Branch: 1.2, Load: 0.9, Store: 1, FPOp: 1}, DepDistScale: 0.9},
+		},
+		PhasePeriodUs:     1600,
+		TotalInstructions: 504_000_000,
+	})
+
+	register(Spec{
+		Name: "wupwise", Suite: FP,
+		BaseMix:       Mix{FX: 0.16, FPOp: 0.46, Load: 0.24, Store: 0.06, Branch: 0.08},
+		DepDist:       5.5,
+		InvariantFrac: 0.5,
+		LoopTrip:      256,
+		BranchNoise:   0.003,
+		CodeFootprint: 16 * kib,
+		HotSetBytes:   24 * kib,
+		ColdSetBytes:  256 * kib,
+		ColdStride:    64,
+		Phases: []Phase{
+			{Name: "zgemm", Weight: 0.75, ColdFrac: 0.06, DepDistScale: 1.25},
+			{Name: "gamma", Weight: 0.25, ColdFrac: 0.14},
+		},
+		PhasePeriodUs:     2800,
+		TotalInstructions: 552_000_000,
+	})
+
+	// High CPU / low memory group (facerec|gcc|mesa|vortex in Table 2).
+	register(Spec{
+		Name: "gcc", Suite: INT,
+		BaseMix:       Mix{FX: 0.44, Load: 0.28, Store: 0.10, Branch: 0.18},
+		DepDist:       3.2,
+		InvariantFrac: 0.36,
+		LoopTrip:      6,
+		BranchNoise:   0.08,
+		CodeFootprint: 192 * kib,
+		HotSetBytes:   30 * kib,
+		ColdSetBytes:  512 * kib,
+		ColdStride:    96,
+		Phases: []Phase{
+			{Name: "parse", Weight: 0.35, ColdFrac: 0.12, MixScale: Mix{Branch: 1.2, FX: 1, Load: 1, Store: 1, FPOp: 1}},
+			{Name: "rtl", Weight: 0.40, ColdFrac: 0.22, MixScale: Mix{Load: 1.15, Store: 1.2, FX: 1, Branch: 0.95, FPOp: 1}},
+			{Name: "regalloc", Weight: 0.25, ColdFrac: 0.08, DepDistScale: 1.1},
+		},
+		PhasePeriodUs:     2100,
+		TotalInstructions: 468_000_000,
+	})
+
+	register(Spec{
+		Name: "mesa", Suite: FP,
+		BaseMix:       Mix{FX: 0.26, FPOp: 0.30, Load: 0.26, Store: 0.08, Branch: 0.10},
+		DepDist:       4.2,
+		InvariantFrac: 0.44,
+		LoopTrip:      48,
+		BranchNoise:   0.02,
+		CodeFootprint: 48 * kib,
+		HotSetBytes:   28 * kib,
+		ColdSetBytes:  320 * kib,
+		ColdStride:    64,
+		Phases: []Phase{
+			{Name: "transform", Weight: 0.5, ColdFrac: 0.09, DepDistScale: 1.15},
+			{Name: "raster", Weight: 0.5, ColdFrac: 0.18, MixScale: Mix{Load: 1.15, Store: 1.25, FPOp: 0.9, FX: 1, Branch: 1}},
+		},
+		PhasePeriodUs:     1900,
+		TotalInstructions: 492_000_000,
+	})
+
+	register(Spec{
+		Name: "vortex", Suite: INT,
+		BaseMix:       Mix{FX: 0.40, Load: 0.31, Store: 0.12, Branch: 0.17},
+		DepDist:       3.4,
+		InvariantFrac: 0.36,
+		LoopTrip:      14,
+		BranchNoise:   0.04,
+		CodeFootprint: 160 * kib,
+		HotSetBytes:   30 * kib,
+		ColdSetBytes:  768 * kib,
+		ColdStride:    104,
+		Phases: []Phase{
+			{Name: "lookup", Weight: 0.55, ColdFrac: 0.20},
+			{Name: "insert", Weight: 0.45, ColdFrac: 0.12, MixScale: Mix{Store: 1.4, Load: 1.05, FX: 1, Branch: 1, FPOp: 1}},
+		},
+		PhasePeriodUs:     2300,
+		TotalInstructions: 480_000_000,
+	})
+}

@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gpm/internal/isa"
+)
+
+func TestRegistryHasAllTwelveBenchmarks(t *testing.T) {
+	want := []string{"ammp", "art", "crafty", "facerec", "gap", "gcc", "mcf", "mesa", "perlbmk", "sixtrack", "vortex", "wupwise"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d benchmarks, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	for _, n := range want {
+		s, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("doom3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic")
+		}
+	}()
+	MustLookup("doom3")
+}
+
+func TestMemoryBoundednessLabels(t *testing.T) {
+	// Table 2: art/mcf very high memory utilization; sixtrack/crafty very
+	// low. Encode as cold working sets beyond vs within the 2 MB L2.
+	const l2 = 2 * 1024 * 1024
+	for _, n := range []string{"mcf", "art", "ammp"} {
+		if MustLookup(n).ColdSetBytes <= l2 {
+			t.Errorf("%s cold set %d should exceed the L2", n, MustLookup(n).ColdSetBytes)
+		}
+	}
+	for _, n := range []string{"sixtrack", "crafty", "facerec", "gap", "perlbmk", "wupwise", "gcc", "mesa", "vortex"} {
+		if MustLookup(n).ColdSetBytes > l2 {
+			t.Errorf("%s cold set %d should fit the L2", n, MustLookup(n).ColdSetBytes)
+		}
+	}
+}
+
+func TestSpecValidateCatchesErrors(t *testing.T) {
+	good := MustLookup("mcf")
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.BaseMix = Mix{} },
+		func(s *Spec) { s.DepDist = 0.5 },
+		func(s *Spec) { s.InvariantFrac = 1.5 },
+		func(s *Spec) { s.LoopTrip = 1 },
+		func(s *Spec) { s.HotSetBytes = 0 },
+		func(s *Spec) { s.Phases = nil },
+		func(s *Spec) { s.Phases = []Phase{{Name: "x", Weight: 0}} },
+		func(s *Spec) { s.Phases = []Phase{{Name: "x", Weight: 1, ColdFrac: 2}} },
+		func(s *Spec) { s.PhasePeriodUs = 0 },
+		func(s *Spec) { s.TotalInstructions = 0 },
+	}
+	for i, mutate := range cases {
+		s := good
+		s.Phases = append([]Phase(nil), good.Phases...)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: broken spec validated", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec := MustLookup("gcc")
+	a := NewGenerator(spec, 1, 99)
+	b := NewGenerator(spec, 1, 99)
+	for i := 0; i < 10000; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, x, y)
+		}
+	}
+	c := NewGenerator(spec, 1, 100)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		x, _ := a.Next()
+		y, _ := c.Next()
+		if x.Op == y.Op && x.Addr == y.Addr {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Error("different seeds produce near-identical streams")
+	}
+}
+
+func TestGeneratorMixMatchesSpec(t *testing.T) {
+	for _, name := range []string{"mcf", "sixtrack", "crafty"} {
+		spec := MustLookup(name)
+		g := NewGenerator(spec, 0, 1)
+		counts := map[isa.Op]int{}
+		const n = 200000
+		for i := 0; i < n; i++ {
+			in, _ := g.Next()
+			counts[in.Op]++
+		}
+		mix := spec.scaledMix(spec.Phases[0])
+		total := mix.sum()
+		// Branch frequency is structural (one per body) — check it is in a
+		// plausible band rather than exact.
+		brFrac := float64(counts[isa.OpBranch]) / n
+		if brFrac < 0.02 || brFrac > 0.25 {
+			t.Errorf("%s: branch fraction %.3f outside band", name, brFrac)
+		}
+		// Non-branch classes should track the requested proportions.
+		nonBranch := float64(n - counts[isa.OpBranch])
+		for _, c := range []struct {
+			op   isa.Op
+			frac float64
+		}{
+			{isa.OpFX, mix.FX},
+			{isa.OpFP, mix.FPOp},
+			{isa.OpLoad, mix.Load},
+			{isa.OpStore, mix.Store},
+		} {
+			want := c.frac / (total - mix.Branch)
+			got := float64(counts[c.op]) / nonBranch
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("%s: %v fraction %.3f, want ≈%.3f", name, c.op, got, want)
+			}
+		}
+	}
+}
+
+func TestGeneratorNeverWritesInvariantRegisters(t *testing.T) {
+	g := NewGenerator(MustLookup("crafty"), 0, 5)
+	for i := 0; i < 100000; i++ {
+		in, _ := g.Next()
+		if !in.HasDest() {
+			continue
+		}
+		d := int(in.Dest)
+		if (d >= intInvariantBase && d < intInvariantBase+numInvariants) ||
+			(d >= fpInvariantBase && d < fpInvariantBase+numInvariants) {
+			t.Fatalf("instruction %d writes invariant register %d", i, d)
+		}
+	}
+}
+
+func TestGeneratorAddressRegions(t *testing.T) {
+	spec := MustLookup("art")
+	g := NewGenerator(spec, 0, 3)
+	for i := 0; i < 100000; i++ {
+		in, _ := g.Next()
+		if in.PC < CodeBase || in.PC >= CodeBase+uint64(spec.CodeFootprint)+64 {
+			t.Fatalf("PC %x outside code region", in.PC)
+		}
+		if !in.Op.IsMem() {
+			continue
+		}
+		inHot := in.Addr >= HotBase && in.Addr < HotBase+uint64(spec.HotSetBytes)
+		inCold := in.Addr >= ColdBase && in.Addr < ColdBase+uint64(spec.ColdSetBytes)+uint64(spec.ColdStride)
+		if !inHot && !inCold {
+			t.Fatalf("data address %x outside hot and cold regions", in.Addr)
+		}
+	}
+}
+
+func TestGeneratorColdFraction(t *testing.T) {
+	spec := MustLookup("mcf")
+	g := NewGenerator(spec, 0, 11)
+	var mem, cold int
+	for i := 0; i < 300000; i++ {
+		in, _ := g.Next()
+		if !in.Op.IsMem() {
+			continue
+		}
+		mem++
+		if in.Addr >= ColdBase {
+			cold++
+		}
+	}
+	want := spec.Phases[0].ColdFrac
+	got := float64(cold) / float64(mem)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("cold fraction %.3f, want ≈%.2f (spec)", got, want)
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	spec := MustLookup("gcc")
+	g := NewGenerator(spec, 0, 1)
+	const off = uint64(1) << 40
+	g.Relocate(off)
+	code, hot, cold := g.Bases()
+	if code != CodeBase+off || hot != HotBase+off || cold != ColdBase+off {
+		t.Error("Relocate did not shift all bases")
+	}
+	for i := 0; i < 10000; i++ {
+		in, _ := g.Next()
+		if in.PC < off {
+			t.Fatal("PC not relocated")
+		}
+		if in.Op.IsMem() && in.Addr < off {
+			t.Fatal("data address not relocated")
+		}
+	}
+}
+
+func TestRelocatePanicsAfterStart(t *testing.T) {
+	g := NewGenerator(MustLookup("gcc"), 0, 1)
+	g.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("Relocate after Next should panic")
+		}
+	}()
+	g.Relocate(64)
+}
+
+func TestCombosCoverTable2(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		combos, err := Combos(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range combos {
+			if c.Cores() != n {
+				t.Errorf("%s has %d cores, want %d", c.ID, c.Cores(), n)
+			}
+			specs, err := c.Specs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(specs) != n {
+				t.Errorf("%s resolved %d specs", c.ID, len(specs))
+			}
+		}
+	}
+	if _, err := Combos(3); err == nil {
+		t.Error("width 3 should have no Table 2 combos")
+	}
+	one, err := Combos(1)
+	if err != nil || len(one) != 4 {
+		t.Errorf("width 1 should yield the four baseline benchmarks: %v %v", one, err)
+	}
+}
+
+func TestFindCombo(t *testing.T) {
+	c, err := FindCombo("4w-ammp-mcf-crafty-art")
+	if err != nil || c.Cores() != 4 {
+		t.Fatalf("FindCombo baseline: %v %v", c, err)
+	}
+	if _, err := FindCombo("nope"); err == nil {
+		t.Error("unknown combo accepted")
+	}
+	if _, err := FindCombo(Fig3Alternate.ID); err != nil {
+		t.Errorf("Fig3 alternate combo should resolve: %v", err)
+	}
+}
+
+func TestBadComboSpecs(t *testing.T) {
+	c := Combo{ID: "bad", Benchmarks: []string{"mcf", "nope"}}
+	if _, err := c.Specs(); err == nil {
+		t.Error("combo with unknown benchmark resolved")
+	}
+}
