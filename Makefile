@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# The resilience sweep and experiment drivers fan out across goroutines;
+# run the full suite under the race detector before shipping.
+race: vet
+	$(GO) test -race ./...
+
+check: race

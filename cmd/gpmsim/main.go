@@ -7,7 +7,7 @@
 //
 // Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 validate modecount explore scaleout transrate minpower selectors
-// thermal run all
+// thermal sched resilience run all
 //
 // Examples:
 //
@@ -15,6 +15,8 @@
 //	gpmsim -quick fig11                               # reduced horizon & grid
 //	gpmsim -policy maxbips -combo 4w-mcf-mcf-art-art -budget 0.75 run
 //	gpmsim -csv fig4                                  # machine-readable output
+//	gpmsim -quick resilience                          # degradation vs sensor-fault rate
+//	gpmsim -fault "stuck=0:0.5:2ms" -guard run        # guarded run with a stuck sensor
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"gpm/internal/core"
 	"gpm/internal/experiment"
+	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/report"
 	"gpm/internal/workload"
@@ -38,13 +41,15 @@ var (
 	flagCombo   = flag.String("combo", "4w-ammp-mcf-crafty-art", "workload combo ID for 'run' (see Table 2 IDs)")
 	flagBudget  = flag.Float64("budget", 0.80, "budget fraction of max chip power for 'run'")
 	flagHorizon = flag.Duration("horizon", 0, "override simulation horizon (e.g. 20ms)")
+	flagFault   = flag.String("fault", "", "fault scenario for 'run'/'resilience', e.g. \"seed=7,noise=0.05,stuck=1:0.5:2ms,death=3:8ms\" (see internal/fault.ParseScenario)")
+	flagGuard   = flag.Bool("guard", false, "guard 'run' with the ResilientManager (sanitization, emergency throttle, core parking)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>...")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched resilience run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -80,7 +85,7 @@ func emit(t *report.Table) {
 func dispatch(env *experiment.Env, cmd string) error {
 	switch cmd {
 	case "all":
-		for _, c := range []string{"table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "validate", "modecount", "explore", "scaleout", "transrate", "minpower", "selectors", "thermal", "sched"} {
+		for _, c := range []string{"table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "validate", "modecount", "explore", "scaleout", "transrate", "minpower", "selectors", "thermal", "sched", "resilience"} {
 			if err := dispatch(env, c); err != nil {
 				return err
 			}
@@ -128,6 +133,8 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return thermalCmd(env)
 	case "sched":
 		return sched(env)
+	case "resilience":
+		return resilience(env)
 	case "run":
 		return custom(env)
 	default:
@@ -374,7 +381,20 @@ func custom(env *experiment.Env) error {
 	if err != nil {
 		return err
 	}
-	res, base, err := env.RunPolicy(combo, pol, *flagBudget)
+	sc, err := fault.ParseScenario(*flagFault)
+	if err != nil {
+		return err
+	}
+	var scp *fault.Scenario
+	if sc.Enabled() {
+		scp = &sc
+	}
+	var guard *core.GuardConfig
+	if *flagGuard {
+		g := core.DefaultGuard()
+		guard = &g
+	}
+	res, base, err := env.RunPolicyResilient(combo, pol, *flagBudget, scp, guard)
 	if err != nil {
 		return err
 	}
@@ -387,9 +407,20 @@ func custom(env *experiment.Env) error {
 	t.AddRow("degradation", report.Pct(metrics.Degradation(res.TotalInstr, base.TotalInstr)))
 	t.AddRow("weighted slowdown", report.Pct(metrics.WeightedSlowdown(sp)))
 	t.AddRow("avg chip power", report.W(res.AvgChipPowerW()))
-	t.AddRow("budget", report.W(*flagBudget*base.MaxChipPowerW()))
+	t.AddRow("budget", report.W(*flagBudget*base.EnvelopePowerW()))
 	t.AddRow("transition stall", res.TransitionStall.String())
 	t.AddRow("overshoot intervals", fmt.Sprintf("%d/%d", res.OvershootIntervals, len(res.ChipPowerW)))
+	if scp != nil || guard != nil {
+		t.AddRow("worst sustained overshoot", fmt.Sprintf("%.3g W·s", res.WorstOvershootWs))
+		t.AddRow("overshoot energy", fmt.Sprintf("%.3g W·s", res.OvershootEnergyWs))
+	}
+	if guard != nil {
+		t.AddRow("emergency entries", fmt.Sprintf("%d", res.EmergencyEntries))
+		t.AddRow("emergency intervals", fmt.Sprintf("%d", res.EmergencyIntervals))
+		t.AddRow("recovery latency", res.RecoveryLatency.String())
+		t.AddRow("sanitized samples", fmt.Sprintf("%d", res.SanitizedSamples))
+		t.AddRow("dead cores", fmt.Sprintf("%v", res.DeadCores))
+	}
 	emit(t)
 	if !*flagCSV {
 		ts := report.NewTimeSeries("chip power [W]", "time →", 100)
@@ -397,6 +428,47 @@ func custom(env *experiment.Env) error {
 		ts.Add("budget", res.BudgetW)
 		fmt.Println(ts.String())
 	}
+	return nil
+}
+
+func resilience(env *experiment.Env) error {
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	rates := []float64{0, 0.05, 0.10, 0.25}
+	if *flagQuick {
+		rates = []float64{0, 0.10, 0.25}
+	}
+	opts := experiment.ResilienceOptions{BudgetFrac: *flagBudget}
+	if sc, err := fault.ParseScenario(*flagFault); err != nil {
+		return err
+	} else if sc.Enabled() {
+		// An explicit -fault scenario replaces the rate-scaled profile; the
+		// rate column then only varies the seed.
+		opts.Scenario = func(rate float64, seed int64) fault.Scenario {
+			out := sc
+			out.Seed = seed
+			return out
+		}
+	}
+	pts, err := env.ResilienceSweep(combo, experiment.ResiliencePolicies(), rates, opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Resilience: degradation vs fault rate (%s, %.0f%% budget)", combo.ID, *flagBudget*100),
+		"policy", "fault rate", "guarded", "degradation", "avg/budget", "overshoot", "worst W·s", "emergencies", "sanitized", "dead")
+	for _, p := range pts {
+		g := "no"
+		if p.Guarded {
+			g = "yes"
+		}
+		t.AddRow(p.Policy, report.Pct(p.FaultRate), g, report.Pct(p.Degradation),
+			fmt.Sprintf("%.2f", p.AvgPowerW/p.BudgetW), report.Pct(p.OvershootShare),
+			fmt.Sprintf("%.3g", p.WorstOvershootWs), fmt.Sprintf("%d", p.EmergencyEntries),
+			fmt.Sprintf("%d", p.SanitizedSamples), fmt.Sprintf("%d", p.DeadCores))
+	}
+	emit(t)
 	return nil
 }
 

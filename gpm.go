@@ -27,6 +27,7 @@ import (
 	"gpm/internal/cmpsim"
 	"gpm/internal/core"
 	"gpm/internal/experiment"
+	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
 	"gpm/internal/workload"
@@ -109,6 +110,46 @@ func FixedBudget(w float64) func(time.Duration) float64 { return cmpsim.FixedBud
 func StepBudget(w1, w2 float64, t time.Duration) func(time.Duration) float64 {
 	return cmpsim.StepBudget(w1, w2, t)
 }
+
+// FaultScenario is a declarative, seed-driven fault-injection plan: sensor
+// noise, calibration drift, sample dropout, stuck-at sensors, transient
+// budget spikes, permanent core death and thermal-sensor failure. The zero
+// value injects nothing; equal seeds replay bit-identically.
+type FaultScenario = fault.Scenario
+
+// StuckFault, CoreDeath and BudgetSpike are the discrete fault events of a
+// FaultScenario.
+type StuckFault = fault.StuckFault
+type CoreDeath = fault.CoreDeath
+type BudgetSpike = fault.BudgetSpike
+
+// ParseFaultScenario decodes the CLI fault syntax, e.g.
+// "seed=7,noise=0.05,stuck=1:0.5:2ms,death=3:8ms".
+func ParseFaultScenario(spec string) (FaultScenario, error) { return fault.ParseScenario(spec) }
+
+// GuardConfig tunes the ResilientManager: sample sanitization, the hard-cap
+// emergency throttle, and dead-core parking. Zero fields select defaults.
+type GuardConfig = core.GuardConfig
+
+// DefaultGuard returns the default guard configuration, spelled out.
+func DefaultGuard() GuardConfig { return core.DefaultGuard() }
+
+// RunPolicyResilient is System.RunPolicy with a fault scenario and optional
+// guard: nil scenario injects nothing, nil guard uses the plain manager, so
+// RunPolicyResilient(combo, p, b, nil, nil) reproduces RunPolicy exactly.
+// See also the System method of the same name.
+func RunPolicyResilient(sys *System, combo Workload, policy Policy, budgetFrac float64, sc *FaultScenario, guard *GuardConfig) (*Result, *Result, error) {
+	return sys.RunPolicyResilient(combo, policy, budgetFrac, sc, guard)
+}
+
+// ResiliencePoint and ResilienceOptions belong to System.ResilienceSweep,
+// which measures degradation-vs-fault-rate curves for a policy set with and
+// without the guard.
+type ResiliencePoint = experiment.ResiliencePoint
+type ResilienceOptions = experiment.ResilienceOptions
+
+// ResiliencePolicies is the default policy set for ResilienceSweep.
+func ResiliencePolicies() []Policy { return experiment.ResiliencePolicies() }
 
 // Degradation returns 1 − policy/baseline committed instructions.
 func Degradation(policyInstr, baselineInstr float64) float64 {

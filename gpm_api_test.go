@@ -71,3 +71,47 @@ func TestPublicBudgetHelpers(t *testing.T) {
 		t.Error("StepBudget edge wrong")
 	}
 }
+
+// TestPublicResilienceAPI exercises the fault-injection surface: a stuck
+// power sensor must push the unguarded manager over budget while the guarded
+// run stays bounded, and RunPolicyResilient(nil, nil) must match RunPolicy.
+func TestPublicResilienceAPI(t *testing.T) {
+	sys := gpm.NewSystem(4).ShortHorizon(8 * time.Millisecond)
+	combo, err := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, _, err := sys.RunPolicy(combo, gpm.MaxBIPS(), 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, _, err := gpm.RunPolicyResilient(sys, combo, gpm.MaxBIPS(), 0.75, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.TotalInstr != plain.TotalInstr || same.EnergyJ != plain.EnergyJ {
+		t.Error("RunPolicyResilient(nil, nil) diverged from RunPolicy")
+	}
+
+	sc, err := gpm.ParseFaultScenario("stuck=0:0.5:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := gpm.DefaultGuard()
+	unguarded, _, err := gpm.RunPolicyResilient(sys, combo, gpm.MaxBIPS(), 0.75, &sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, _, err := gpm.RunPolicyResilient(sys, combo, gpm.MaxBIPS(), 0.75, &sc, &guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.WorstOvershootWs >= unguarded.WorstOvershootWs {
+		t.Errorf("guard did not reduce the worst sustained overshoot: %.3g vs %.3g W·s",
+			guarded.WorstOvershootWs, unguarded.WorstOvershootWs)
+	}
+	if guarded.SanitizedSamples == 0 && guarded.RescaledIntervals == 0 && guarded.EmergencyEntries == 0 {
+		t.Error("guarded run reports no interventions against a stuck sensor")
+	}
+}

@@ -8,9 +8,12 @@ package cmpsim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"gpm/internal/core"
+	"gpm/internal/fault"
+	"gpm/internal/metrics"
 	"gpm/internal/modes"
 	"gpm/internal/thermal"
 	"gpm/internal/trace"
@@ -37,6 +40,16 @@ type Options struct {
 	// budget at each explore boundary becomes min(Budget(t), thermal
 	// budget). The governor's horizon should equal the explore interval.
 	Thermal *thermal.Governor
+	// Fault, when non-nil and enabled, wires a deterministic fault injector
+	// between the simulated hardware and the manager: the manager decides on
+	// perturbed observations while the simulated physics stay truthful. A
+	// nil or all-zero scenario leaves the sample path untouched.
+	Fault *fault.Scenario
+	// Guard, when non-nil, substitutes the ResilientManager for the plain
+	// manager: samples are sanitized, the hard-cap emergency throttle is
+	// armed, and dead cores are parked. GuardConfig zero fields select
+	// defaults, so &core.GuardConfig{} is a valid setting.
+	Guard *core.GuardConfig
 }
 
 // Result captures a full run at delta-sim resolution.
@@ -74,6 +87,34 @@ type Result struct {
 	// MaxTempC[i] is the hottest core's temperature during delta interval i
 	// (only populated when Options.Thermal is set).
 	MaxTempC []float64
+
+	// Robustness accounting (§ "Fault model & resilience" in DESIGN.md).
+	//
+	// OvershootEnergyWs integrates every budget violation over the run, in
+	// watt·seconds; WorstOvershootWs is the largest violation accumulated
+	// by a single contiguous run of over-budget intervals — the sustained
+	// excursion the package's margins must absorb.
+	OvershootEnergyWs float64
+	WorstOvershootWs  float64
+	// EmergencyEntries counts engagements of the hard-cap throttle and
+	// EmergencyIntervals the explore intervals spent throttled (guarded
+	// runs only).
+	EmergencyEntries   int
+	EmergencyIntervals int
+	// RecoveryLatency is the longest single emergency episode: the time
+	// from throttle engagement until normal policy operation resumed.
+	RecoveryLatency time.Duration
+	// DeadCores lists cores the guarded manager declared dead and parked.
+	DeadCores []int
+	// SanitizedSamples counts per-core sensor readings the guarded manager
+	// rejected or clamped; RescaledIntervals counts decisions where the
+	// per-core sensors were rescaled to the chip-level measurement.
+	SanitizedSamples  int
+	RescaledIntervals int
+	// FinalSamples are the interval-average per-core samples of the last
+	// (possibly truncated) explore interval — what the manager would have
+	// based its next decision on had the run continued.
+	FinalSamples []core.Sample
 }
 
 // AvgChipPowerW returns the run's average chip power.
@@ -177,7 +218,21 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	if pred.ExploreSeconds == 0 {
 		pred.ExploreSeconds = cfg.Sim.Explore.Seconds()
 	}
-	mgr := core.NewManager(plan, opt.Policy, pred, n)
+
+	var inj *fault.Injector
+	if opt.Fault != nil && opt.Fault.Enabled() {
+		inj, err = fault.NewInjector(*opt.Fault, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var mgr *core.Manager
+	var rm *core.ResilientManager
+	if opt.Guard != nil {
+		rm = core.NewResilientManager(plan, opt.Policy, pred, n, *opt.Guard)
+	} else {
+		mgr = core.NewManager(plan, opt.Policy, pred, n)
+	}
 
 	horizon := cfg.Sim.Horizon
 	if opt.Horizon > 0 {
@@ -199,9 +254,14 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	// Turbo before the first decision.
 	current := modes.Uniform(n, modes.Turbo)
 	samples := make([]core.Sample, n)
+	chipMeasured := 0.0 // the independent chip-level (VRM) power sensor
 	for c, pl := range players {
 		e, in := pl.Peek(current[c], exploreSec)
 		samples[c] = core.Sample{PowerW: e / exploreSec, Instr: in}
+		if inj != nil && inj.CoreDead(c, 0) {
+			samples[c] = core.Sample{}
+		}
+		chipMeasured += samples[c].PowerW
 	}
 
 	lookahead := func(c int, m modes.Mode) (float64, float64) {
@@ -211,20 +271,42 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 
 	now := time.Duration(0)
 	done := false
+	lastThermalB := math.Inf(1) // last good thermal reading, for sensor death
 	for now < horizon && !done {
 		budget := opt.Budget(now)
+		if math.IsNaN(budget) || budget < 0 {
+			return nil, fmt.Errorf("cmpsim: budget function returned %v at t=%v; budgets must be non-negative", budget, now)
+		}
+		if inj != nil {
+			budget = inj.Budget(now, budget)
+		}
 		if opt.Thermal != nil {
-			if tb := opt.Thermal.BudgetW(); tb < budget {
+			tb := opt.Thermal.BudgetW()
+			if inj != nil && inj.ThermalFailed(now) {
+				tb = lastThermalB // a dead sensor repeats its final sample
+			} else {
+				lastThermalB = tb
+			}
+			if tb < budget {
 				budget = tb
 			}
 		}
-		next := mgr.Step(budget, samples, lookahead, memBound)
+		observed := samples
+		if inj != nil {
+			observed = inj.ObserveSamples(now, samples)
+		}
+		var next modes.Vector
+		if rm != nil {
+			next = rm.Step(budget, chipMeasured, observed, lookahead, memBound)
+		} else {
+			next = mgr.Step(budget, observed, lookahead, memBound)
+		}
 		stall := plan.MaxTransitionBetween(current, next)
 		// Per-core stall power: the worst-case endpoint of the transition
 		// (§5.1: execution halts, CPU power is still consumed).
 		stallPower := make([]float64, n)
 		for c := range players {
-			if players[c].Completed() {
+			if players[c].Completed() || (inj != nil && inj.CoreDead(c, now)) {
 				continue
 			}
 			pOld, _ := players[c].Behavior(current[c])
@@ -242,7 +324,9 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 		stallLeft := stall.Seconds()
 		intervalPower := make([]float64, n)
 		intervalInstr := make([]float64, n)
+		simmed := 0 // deltas actually simulated; < deltasPerExplore when truncated
 		for d := 0; d < deltasPerExplore && now < horizon; d++ {
+			simmed++
 			rowP := make([]float64, n)
 			rowI := make([]float64, n)
 			var chip float64
@@ -254,7 +338,7 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 			exec := deltaSec - st
 			for c, pl := range players {
 				var e, in float64
-				if !pl.Completed() {
+				if !pl.Completed() && (inj == nil || !inj.CoreDead(c, now)) {
 					e = stallPower[c] * st
 					if exec > 0 {
 						ee, ii := pl.Advance(current[c], exec)
@@ -295,15 +379,35 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 			}
 		}
 		// Samples for the next decision: averages over the explore interval.
+		// A truncated interval (horizon hit or first-completion exit) must
+		// average over the deltas actually simulated, not the nominal count.
+		den := float64(simmed)
+		if den == 0 {
+			den = 1
+		}
+		chipMeasured = 0
 		for c := range players {
 			samples[c] = core.Sample{
-				PowerW: intervalPower[c] / float64(deltasPerExplore),
+				PowerW: intervalPower[c] / den,
 				Instr:  intervalInstr[c],
 				Done:   players[c].Completed(),
 			}
+			chipMeasured += samples[c].PowerW
 		}
 	}
 	res.Elapsed = now
+	res.FinalSamples = append([]core.Sample(nil), samples...)
+	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, deltaSec)
+	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, deltaSec)
+	if rm != nil {
+		st := rm.Stats()
+		res.EmergencyEntries = st.EmergencyEntries
+		res.EmergencyIntervals = st.EmergencyIntervals
+		res.RecoveryLatency = time.Duration(st.LongestEmergency) * cfg.Sim.Explore
+		res.DeadCores = st.DeadCores
+		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
+		res.RescaledIntervals = st.RescaledIntervals
+	}
 	return res, nil
 }
 

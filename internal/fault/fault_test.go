@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpm/internal/core"
+)
+
+func truth(n int) []core.Sample {
+	out := make([]core.Sample, n)
+	for i := range out {
+		out[i] = core.Sample{PowerW: 10 + float64(i), Instr: 1e6}
+	}
+	return out
+}
+
+func TestZeroScenarioInjectsNothing(t *testing.T) {
+	var sc Scenario
+	if sc.Enabled() {
+		t.Fatal("zero scenario reports enabled")
+	}
+	in, err := NewInjector(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := truth(4)
+	obs := in.ObserveSamples(time.Millisecond, tr)
+	for c := range tr {
+		if obs[c] != tr[c] {
+			t.Errorf("core %d: observation %+v differs from truth %+v", c, obs[c], tr[c])
+		}
+	}
+	if b := in.Budget(0, 55); b != 55 {
+		t.Errorf("budget perturbed to %g", b)
+	}
+	if in.CoreDead(0, time.Hour) || in.ThermalFailed(time.Hour) {
+		t.Error("zero scenario kills cores or thermal sensors")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	sc := Scenario{Seed: 99, PowerNoiseSigma: 0.1, InstrNoiseSigma: 0.05, DropProb: 0.2}
+	a, _ := NewInjector(sc, 4)
+	b, _ := NewInjector(sc, 4)
+	for i := 0; i < 50; i++ {
+		now := time.Duration(i) * 500 * time.Microsecond
+		oa := a.ObserveSamples(now, truth(4))
+		ob := b.ObserveSamples(now, truth(4))
+		for c := range oa {
+			if oa[c] != ob[c] {
+				t.Fatalf("interval %d core %d: %+v vs %+v", i, c, oa[c], ob[c])
+			}
+		}
+	}
+	// A different seed must diverge.
+	sc.Seed = 100
+	d, _ := NewInjector(sc, 4)
+	same := true
+	for i := 0; i < 10 && same; i++ {
+		oa := a.ObserveSamples(0, truth(4))
+		od := d.ObserveSamples(0, truth(4))
+		for c := range oa {
+			if oa[c] != od[c] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStuckDeathSpikeThermal(t *testing.T) {
+	sc := Scenario{
+		Stuck:         []StuckFault{{Core: 1, PowerW: 0.5, At: 2 * time.Millisecond}},
+		Deaths:        []CoreDeath{{Core: 2, At: 5 * time.Millisecond}},
+		Spikes:        []BudgetSpike{{At: time.Millisecond, Duration: time.Millisecond, Scale: 0.5}},
+		ThermalFailAt: 3 * time.Millisecond,
+	}
+	in, err := NewInjector(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.ObserveSamples(time.Millisecond, truth(4))[1].PowerW; got != 11 {
+		t.Errorf("stuck-at fired early: %g", got)
+	}
+	if got := in.ObserveSamples(2*time.Millisecond, truth(4))[1].PowerW; got != 0.5 {
+		t.Errorf("stuck-at reading %g, want 0.5", got)
+	}
+	if in.CoreDead(2, 4*time.Millisecond) {
+		t.Error("core 2 died early")
+	}
+	if !in.CoreDead(2, 5*time.Millisecond) {
+		t.Error("core 2 alive after death time")
+	}
+	if got := in.Budget(1500*time.Microsecond, 100); got != 50 {
+		t.Errorf("spiked budget %g, want 50", got)
+	}
+	if got := in.Budget(2*time.Millisecond, 100); got != 100 {
+		t.Errorf("budget after spike %g, want 100", got)
+	}
+	if in.ThermalFailed(2 * time.Millisecond) {
+		t.Error("thermal failed early")
+	}
+	if !in.ThermalFailed(3 * time.Millisecond) {
+		t.Error("thermal alive after failure time")
+	}
+}
+
+func TestGainAndDrift(t *testing.T) {
+	sc := Scenario{PowerGain: 0.1, PowerDriftPerSec: 100}
+	in, _ := NewInjector(sc, 1)
+	// At t=1ms: gain = 1 + 0.1 + 0.001*100 = 1.2.
+	got := in.ObserveSamples(time.Millisecond, []core.Sample{{PowerW: 10, Instr: 1}})[0].PowerW
+	if math.Abs(got-12) > 1e-12 {
+		t.Errorf("drifted reading %g, want 12", got)
+	}
+}
+
+func TestDropNaN(t *testing.T) {
+	sc := Scenario{Seed: 1, DropProb: 1, DropAsNaN: true}
+	in, _ := NewInjector(sc, 2)
+	obs := in.ObserveSamples(0, truth(2))
+	for c := range obs {
+		if !math.IsNaN(obs[c].PowerW) || !math.IsNaN(obs[c].Instr) {
+			t.Errorf("core %d: dropped sample %+v not NaN", c, obs[c])
+		}
+	}
+}
+
+func TestDoneCoresPassThrough(t *testing.T) {
+	sc := Scenario{Seed: 1, PowerNoiseSigma: 0.5, DropProb: 1}
+	in, _ := NewInjector(sc, 1)
+	s := []core.Sample{{PowerW: 3, Instr: 0, Done: true}}
+	if got := in.ObserveSamples(0, s)[0]; got != s[0] {
+		t.Errorf("done core perturbed: %+v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Scenario{
+		{Stuck: []StuckFault{{Core: 4}}},
+		{Deaths: []CoreDeath{{Core: -1}}},
+		{DropProb: 1.5},
+		{PowerNoiseSigma: -1},
+		{Spikes: []BudgetSpike{{At: 0, Duration: 0, Scale: 1}}},
+	}
+	for i, sc := range bad {
+		if _, err := NewInjector(sc, 4); err == nil {
+			t.Errorf("scenario %d accepted: %+v", i, sc)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("seed=7,noise=0.05,inoise=0.01,gain=0.02,drift=3,drop=0.1,dropnan,stuck=1:0.5:2ms,stuck=2:nan:1ms,death=3:8ms,spike=4ms:1ms:0.6,thermalfail=6ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || sc.PowerNoiseSigma != 0.05 || sc.InstrNoiseSigma != 0.01 ||
+		sc.PowerGain != 0.02 || sc.PowerDriftPerSec != 3 || sc.DropProb != 0.1 || !sc.DropAsNaN {
+		t.Errorf("scalar fields wrong: %+v", sc)
+	}
+	if len(sc.Stuck) != 2 || sc.Stuck[0] != (StuckFault{Core: 1, PowerW: 0.5, At: 2 * time.Millisecond}) {
+		t.Errorf("stuck faults wrong: %+v", sc.Stuck)
+	}
+	if !math.IsNaN(sc.Stuck[1].PowerW) {
+		t.Errorf("stuck nan not parsed: %+v", sc.Stuck[1])
+	}
+	if len(sc.Deaths) != 1 || sc.Deaths[0] != (CoreDeath{Core: 3, At: 8 * time.Millisecond}) {
+		t.Errorf("deaths wrong: %+v", sc.Deaths)
+	}
+	if len(sc.Spikes) != 1 || sc.Spikes[0] != (BudgetSpike{At: 4 * time.Millisecond, Duration: time.Millisecond, Scale: 0.6}) {
+		t.Errorf("spikes wrong: %+v", sc.Spikes)
+	}
+	if sc.ThermalFailAt != 6*time.Millisecond {
+		t.Errorf("thermalfail wrong: %v", sc.ThermalFailAt)
+	}
+	if _, err := ParseScenario("bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParseScenario("stuck=1:2"); err == nil {
+		t.Error("malformed stuck accepted")
+	}
+	if empty, err := ParseScenario("  "); err != nil || empty.Enabled() {
+		t.Errorf("blank spec: %+v err %v", empty, err)
+	}
+}

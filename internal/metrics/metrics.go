@@ -83,6 +83,46 @@ func BudgetFit(avgPowerW, budgetW float64) float64 {
 	return avgPowerW / budgetW
 }
 
+// OvershootEnergyWs integrates the budget violation over a power series:
+// Σ max(0, power[i] − budget[i]) · dtSeconds, in watt·seconds. The series
+// must be equal length; the shorter one bounds the sum.
+func OvershootEnergyWs(powerW, budgetW []float64, dtSeconds float64) float64 {
+	n := len(powerW)
+	if len(budgetW) < n {
+		n = len(budgetW)
+	}
+	var ws float64
+	for i := 0; i < n; i++ {
+		if over := powerW[i] - budgetW[i]; over > 0 {
+			ws += over * dtSeconds
+		}
+	}
+	return ws
+}
+
+// WorstSustainedOvershootWs returns the largest watt·seconds accumulated by
+// any single contiguous run of over-budget intervals — the quantity a
+// package's thermal/electrical margin must absorb before the manager
+// corrects. Short excursions that dip back under budget reset the run.
+func WorstSustainedOvershootWs(powerW, budgetW []float64, dtSeconds float64) float64 {
+	n := len(powerW)
+	if len(budgetW) < n {
+		n = len(budgetW)
+	}
+	var worst, cur float64
+	for i := 0; i < n; i++ {
+		if over := powerW[i] - budgetW[i]; over > 0 {
+			cur += over * dtSeconds
+			if cur > worst {
+				worst = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return worst
+}
+
 // Series summarizes a float series.
 type Series struct {
 	Min, Max, Mean, Std float64

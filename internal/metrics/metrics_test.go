@@ -106,3 +106,36 @@ func TestSummarize(t *testing.T) {
 		t.Error("empty summary")
 	}
 }
+
+func TestOvershootEnergyWs(t *testing.T) {
+	power := []float64{10, 12, 9, 15}
+	budget := []float64{10, 10, 10, 10}
+	// Violations: 0 + 2 + 0 + 5 = 7 W over 0.5 s intervals = 3.5 W·s.
+	if got := OvershootEnergyWs(power, budget, 0.5); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("OvershootEnergyWs = %v, want 3.5", got)
+	}
+	if got := OvershootEnergyWs(nil, budget, 0.5); got != 0 {
+		t.Errorf("empty series = %v", got)
+	}
+	// Mismatched lengths stop at the shorter series.
+	if got := OvershootEnergyWs(power, budget[:2], 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("truncated series = %v, want 2", got)
+	}
+}
+
+func TestWorstSustainedOvershootWs(t *testing.T) {
+	budget := []float64{10, 10, 10, 10, 10, 10}
+	// Two runs: {+2,+3} = 5 and {+4} = 4; worst sustained is 5 W·s at dt=1.
+	power := []float64{12, 13, 9, 14, 10, 10}
+	if got := WorstSustainedOvershootWs(power, budget, 1); math.Abs(got-5) > 1e-12 {
+		t.Errorf("worst sustained = %v, want 5", got)
+	}
+	// A single long run beats several short ones.
+	power = []float64{11, 11, 11, 11, 9, 14}
+	if got := WorstSustainedOvershootWs(power, budget, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("worst sustained = %v, want 4", got)
+	}
+	if got := WorstSustainedOvershootWs([]float64{5}, []float64{10}, 1); got != 0 {
+		t.Errorf("under-budget series = %v, want 0", got)
+	}
+}
