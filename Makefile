@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+# Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
+GOTESTFLAGS ?=
+
+.PHONY: all build vet test race check bench-json
 
 all: check
 
@@ -11,11 +14,19 @@ vet: build
 	$(GO) vet ./...
 
 test: vet
-	$(GO) test ./...
+	$(GO) test $(GOTESTFLAGS) ./...
 
-# The resilience sweep and experiment drivers fan out across goroutines;
-# run the full suite under the race detector before shipping.
+# The resilience sweep, sharded solvers and experiment drivers fan out across
+# goroutines; run the suite under the race detector before shipping. CI gates
+# this leg to the short test set (GOTESTFLAGS=-short) to bound wall-clock.
 race: vet
-	$(GO) test -race ./...
+	$(GO) test -race $(GOTESTFLAGS) ./...
 
 check: race
+
+# Machine-readable solver benchmarks: ns/op, B/op, allocs/op and nodes/op per
+# solver at 8/16/64/256 cores (plus the 1024-core hierarchical decision).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024' -benchmem ./internal/solver \
+		| $(GO) run ./cmd/benchjson > BENCH_solver.json
+	@echo wrote BENCH_solver.json

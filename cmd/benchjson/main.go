@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON array, one object per benchmark result line:
+//
+//	go test -run '^$' -bench BenchmarkSolver -benchmem ./internal/solver | benchjson
+//
+// Each object carries the benchmark name, GOMAXPROCS suffix, iteration count,
+// and every reported metric keyed by its unit (ns/op, B/op, allocs/op, and
+// any b.ReportMetric custom units such as nodes/op). Non-benchmark lines are
+// ignored, so the full `go test` output can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []Result{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes the standard benchmark format:
+//
+//	BenchmarkName-8   124   9_471 ns/op   512 B/op   7 allocs/op
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(f[0], "-"); i >= 0 {
+		if procs, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

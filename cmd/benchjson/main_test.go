@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSolver/bb/cores=64-8    424    2612470 ns/op    12345 nodes/op    2048 B/op    12 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkSolver/bb/cores=64" || r.Procs != 8 {
+		t.Fatalf("name %q procs %d", r.Name, r.Procs)
+	}
+	if r.Iterations != 424 {
+		t.Fatalf("iterations %d", r.Iterations)
+	}
+	want := map[string]float64{"ns/op": 2612470, "nodes/op": 12345, "B/op": 2048, "allocs/op": 12}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Fatalf("%s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"ok  \tgpm/internal/solver\t2.1s",
+		"goos: linux",
+		"BenchmarkBroken notanumber ns/op",
+		"--- BENCH: BenchmarkSolver",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Fatalf("line %q should not parse", bad)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 validate modecount explore scaleout transrate minpower selectors
-// thermal sched resilience run all
+// thermal sched resilience scaling run all
 //
 // Examples:
 //
@@ -17,6 +17,9 @@
 //	gpmsim -csv fig4                                  # machine-readable output
 //	gpmsim -quick resilience                          # degradation vs sensor-fault rate
 //	gpmsim -fault "stuck=0:0.5:2ms" -guard run        # guarded run with a stuck sensor
+//	gpmsim scaling                                    # solver quality/wall-clock at 8..1024 cores
+//	gpmsim -solver bb -combo 8w-mixed -budget 0.75 run  # exact BB-backed MaxBIPS run
+//	gpmsim -solver hier -clusters 16 scaling          # hierarchical solver, 16-core clusters
 package main
 
 import (
@@ -31,25 +34,29 @@ import (
 	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/report"
+	"gpm/internal/solver"
 	"gpm/internal/workload"
 )
 
 var (
 	flagQuick   = flag.Bool("quick", false, "reduced horizon (15 ms) and budget grid for fast runs")
 	flagCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	flagPolicy  = flag.String("policy", "maxbips", "policy for 'run': maxbips|greedy|priority|pullhipushlo|chipwide|oracle|stable|fairness|hierarchical")
+	flagPolicy  = flag.String("policy", "maxbips", "policy for 'run': maxbips|greedy|priority|pullhipushlo|chipwide|oracle|stable|fairness|hierarchical|maxbips-dp|maxbips-bb|maxbips-hier|maxbips-sharded")
 	flagCombo   = flag.String("combo", "4w-ammp-mcf-crafty-art", "workload combo ID for 'run' (see Table 2 IDs)")
 	flagBudget  = flag.Float64("budget", 0.80, "budget fraction of max chip power for 'run'")
 	flagHorizon = flag.Duration("horizon", 0, "override simulation horizon (e.g. 20ms)")
 	flagFault   = flag.String("fault", "", "fault scenario for 'run'/'resilience', e.g. \"seed=7,noise=0.05,stuck=1:0.5:2ms,death=3:8ms\" (see internal/fault.ParseScenario)")
 	flagGuard   = flag.Bool("guard", false, "guard 'run' with the ResilientManager (sanitization, emergency throttle, core parking)")
+	flagSolver  = flag.String("solver", "", "allocation solver for 'run'/'scaling': exhaustive|dp|bb|hier|greedy (for 'run', overrides -policy with a solver-backed MaxBIPS)")
+	flagCluster = flag.Int("clusters", 0, "hierarchical solver cluster size (0 = default 8)")
+	flagQuantum = flag.Float64("quantum", 0, "DP power quantum in watts (0 = adaptive default)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>...")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched resilience run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched resilience scaling run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -85,7 +92,7 @@ func emit(t *report.Table) {
 func dispatch(env *experiment.Env, cmd string) error {
 	switch cmd {
 	case "all":
-		for _, c := range []string{"table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "validate", "modecount", "explore", "scaleout", "transrate", "minpower", "selectors", "thermal", "sched", "resilience"} {
+		for _, c := range []string{"table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "validate", "modecount", "explore", "scaleout", "transrate", "minpower", "selectors", "thermal", "sched", "resilience", "scaling"} {
 			if err := dispatch(env, c); err != nil {
 				return err
 			}
@@ -135,6 +142,8 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return sched(env)
 	case "resilience":
 		return resilience(env)
+	case "scaling":
+		return solverScaling(env)
 	case "run":
 		return custom(env)
 	default:
@@ -372,10 +381,25 @@ func minpower(env *experiment.Env) error {
 	return nil
 }
 
+// solverOpts collects the -clusters/-quantum knobs for solver-backed runs.
+func solverOpts() solver.Options {
+	return solver.Options{QuantumW: *flagQuantum, ClusterSize: *flagCluster}
+}
+
 func custom(env *experiment.Env) error {
-	pol, err := core.Registry(strings.ToLower(*flagPolicy))
-	if err != nil {
-		return err
+	var pol core.Policy
+	var err error
+	if *flagSolver != "" {
+		s, serr := solver.New(strings.ToLower(*flagSolver), solverOpts())
+		if serr != nil {
+			return serr
+		}
+		pol = core.SolverPolicy{Solver: s}
+	} else {
+		pol, err = core.SolverRegistry(strings.ToLower(*flagPolicy), solverOpts())
+		if err != nil {
+			return err
+		}
 	}
 	combo, err := workload.FindCombo(*flagCombo)
 	if err != nil {
@@ -467,6 +491,43 @@ func resilience(env *experiment.Env) error {
 			fmt.Sprintf("%.2f", p.AvgPowerW/p.BudgetW), report.Pct(p.OvershootShare),
 			fmt.Sprintf("%.3g", p.WorstOvershootWs), fmt.Sprintf("%d", p.EmergencyEntries),
 			fmt.Sprintf("%d", p.SanitizedSamples), fmt.Sprintf("%d", p.DeadCores))
+	}
+	emit(t)
+	return nil
+}
+
+// solverScaling runs the A9 sweep: solution quality and decision wall-clock
+// for every allocation solver across chip widths the exhaustive MaxBIPS
+// kernel cannot reach.
+func solverScaling(env *experiment.Env) error {
+	widths := []int{8, 16, 64, 256, 1024}
+	if *flagQuick {
+		widths = []int{8, 16, 64}
+	}
+	opts := experiment.SolverScalingOptions{
+		QuantumW:    *flagQuantum,
+		ClusterSize: *flagCluster,
+	}
+	if *flagSolver != "" {
+		opts.Solvers = strings.Split(strings.ToLower(*flagSolver), ",")
+	}
+	rows, err := env.SolverScaling(widths, *flagBudget, opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Ablation A9: mode-allocation solvers at %.0f%% budget", *flagBudget*100),
+		"cores", "solver", "quality", "vs", "exact", "gap bound", "nodes", "wall clock")
+	for _, r := range rows {
+		exact := "no"
+		if r.Exact {
+			exact = "yes"
+		}
+		gap := "-"
+		if r.GapBound > 0 {
+			gap = report.Pct(r.GapBound)
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Cores), r.Solver, fmt.Sprintf("%.4f", r.Quality), r.Reference,
+			exact, gap, fmt.Sprintf("%d", r.Nodes), r.Wall.Round(time.Microsecond).String())
 	}
 	emit(t)
 	return nil

@@ -30,6 +30,7 @@ import (
 	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
+	"gpm/internal/solver"
 	"gpm/internal/workload"
 )
 
@@ -87,8 +88,54 @@ func Hierarchical(clusterSize int) Policy { return core.Hierarchical{ClusterSize
 // FixedModes pins every core to the given vector (the §5.7 static bound).
 func FixedModes(v ModeVector) Policy { return core.Fixed{Vector: v} }
 
+// Solver is a budgeted mode-allocation solver (internal/solver): it picks the
+// throughput-maximizing feasible mode vector for one decision instance. The
+// implementations scale the MaxBIPS objective past the exhaustive kernel's
+// ~16-core limit.
+type Solver = solver.Solver
+
+// SolverStats is the per-decision certificate a Solver returns alongside its
+// vector: node counts, exactness, the DP optimality-gap bound, and wall-clock.
+type SolverStats = solver.Stats
+
+// SolverOptions tunes SolverByName: DP power quantum, hierarchy cluster size,
+// worker and branch-and-bound node caps. Zero fields select defaults.
+type SolverOptions = solver.Options
+
+// SolverByName resolves an allocation solver: exhaustive (prefix-sharded
+// parallel enumeration), dp (quantized knapsack with a reported gap bound),
+// bb (exact branch-and-bound; µs–ms at 64+ cores), hier (two-level clustered;
+// scales to 1024 cores), or greedy.
+func SolverByName(name string, opt SolverOptions) (Solver, error) { return solver.New(name, opt) }
+
+// SolverNames lists the SolverByName registry.
+func SolverNames() []string { return solver.Names() }
+
+// MaxBIPSDP is MaxBIPS backed by the quantized dynamic-programming solver.
+func MaxBIPSDP(quantumW float64) Policy {
+	return core.SolverPolicy{Solver: &solver.DP{QuantumW: quantumW}}
+}
+
+// MaxBIPSBB is MaxBIPS backed by the exact branch-and-bound solver.
+func MaxBIPSBB() Policy { return core.SolverPolicy{Solver: &solver.BB{}} }
+
+// MaxBIPSHier is MaxBIPS backed by the two-level clustered solver
+// (clusterSize 0 selects the default of 8 cores per cluster).
+func MaxBIPSHier(clusterSize int) Policy {
+	return core.SolverPolicy{Solver: &solver.Hier{ClusterSize: clusterSize}}
+}
+
+// SolverPolicy wraps any Solver as a Policy.
+func SolverPolicy(s Solver) Policy { return core.SolverPolicy{Solver: s} }
+
+// SolverScalingRow and SolverScalingOptions belong to System.SolverScaling,
+// the quality-vs-wall-clock sweep across chip widths (8..1024 cores).
+type SolverScalingRow = experiment.SolverScalingRow
+type SolverScalingOptions = experiment.SolverScalingOptions
+
 // PolicyByName resolves a policy from its CLI name
-// (maxbips|greedy|priority|pullhipushlo|chipwide|oracle).
+// (maxbips|greedy|priority|pullhipushlo|chipwide|oracle|...|maxbips-dp|
+// maxbips-bb|maxbips-hier|maxbips-sharded).
 func PolicyByName(name string) (Policy, error) { return core.Registry(name) }
 
 // FindWorkload resolves a Table 2 combination by ID, e.g.

@@ -15,6 +15,7 @@ import (
 	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
+	"gpm/internal/solver"
 	"gpm/internal/thermal"
 	"gpm/internal/trace"
 	"gpm/internal/workload"
@@ -27,6 +28,10 @@ type Options struct {
 	Budget func(t time.Duration) float64
 	// Policy decides mode vectors at explore boundaries.
 	Policy core.Policy
+	// Solver, when non-nil and Policy is nil, runs the simulation under a
+	// MaxBIPS-objective policy backed by this internal/solver allocation
+	// solver (equivalent to Policy: core.SolverPolicy{Solver: Solver}).
+	Solver solver.Solver
 	// Predictor builds the §5.5 matrices. Zero value fields are filled from
 	// the library's plan and config.
 	Predictor core.Predictor
@@ -192,6 +197,9 @@ func MemBoundedness(lib *trace.Library, combo workload.Combo) ([]float64, error)
 func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error) {
 	cfg := lib.Config()
 	plan := lib.Plan()
+	if opt.Policy == nil && opt.Solver != nil {
+		opt.Policy = core.SolverPolicy{Solver: opt.Solver}
+	}
 	if opt.Policy == nil {
 		return nil, fmt.Errorf("cmpsim: no policy")
 	}

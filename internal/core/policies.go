@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpm/internal/modes"
+	"gpm/internal/solver"
 )
 
 // MaxBIPS is §5.2.3: exhaustively evaluate every mode combination with the
@@ -23,7 +24,9 @@ func (MaxBIPS) Decide(ctx Context) modes.Vector {
 
 // selectMaxThroughput is the shared exhaustive kernel for MaxBIPS-style
 // selection over a (power, instr) matrix pair. It returns the all-deepest
-// vector when no combination fits the budget.
+// vector when no combination fits the budget. The running best is kept in a
+// single scratch buffer (copy-in-place, no per-improvement allocation): an
+// 8-core sweep used to clone dozens of vectors per decision.
 func selectMaxThroughput(plan modes.Plan, n int, budgetW float64, mx Matrices) modes.Vector {
 	deepest := modes.Mode(plan.NumModes() - 1)
 	best := modes.Uniform(n, deepest)
@@ -38,7 +41,7 @@ func selectMaxThroughput(plan modes.Plan, n int, budgetW float64, mx Matrices) m
 		if t > bestInstr || (t == bestInstr && p < bestPower) {
 			bestInstr = t
 			bestPower = p
-			best = v.Clone()
+			copy(best, v)
 		}
 		return true
 	})
@@ -50,6 +53,12 @@ func selectMaxThroughput(plan modes.Plan, n int, budgetW float64, mx Matrices) m
 // single-core, single-step upgrade with the best ΔBIPS/ΔPower ratio that
 // still fits the budget. It makes 64-core chips tractable (§5.5 notes the
 // superlinear state-space growth of exploration with mode count).
+//
+// Tie-breaking is part of the contract: when several upgrades share the best
+// ΔBIPS/ΔPower ratio, the lowest core index wins (the scan keeps the first
+// maximum because the comparison is strict). internal/solver's greedy kernel
+// replicates this rule, so solver cross-checks against this policy are
+// deterministic even on symmetric (replicated-core) matrices.
 type GreedyMaxBIPS struct{}
 
 // Name implements Policy.
@@ -85,6 +94,7 @@ func (GreedyMaxBIPS) Decide(ctx Context) modes.Vector {
 			} else if di > 0 {
 				ratio = 1e18 // free throughput
 			}
+			// Strict > resolves ratio ties to the lowest core index.
 			if ratio > bestRatio {
 				bestRatio = ratio
 				bestCore = c
@@ -337,8 +347,17 @@ func (p MinPower) Decide(ctx Context) modes.Vector {
 }
 
 // Registry returns the named policy, for CLI use. Fixed and MinPower carry
-// parameters and are constructed directly instead.
+// parameters and are constructed directly instead. The maxbips-* names bind
+// the internal/solver allocation solvers (each call returns a fresh solver
+// instance, so stateful solvers never share state across simulations); use
+// SolverRegistry to parameterize them.
 func Registry(name string) (Policy, error) {
+	return SolverRegistry(name, solver.Options{})
+}
+
+// SolverRegistry is Registry with solver parameters (DP quantum, hierarchy
+// cluster size, worker and node caps) for the maxbips-* policies.
+func SolverRegistry(name string, opt solver.Options) (Policy, error) {
 	switch name {
 	case "maxbips":
 		return MaxBIPS{}, nil
@@ -358,7 +377,19 @@ func Registry(name string) (Policy, error) {
 		return Fairness{}, nil
 	case "hierarchical":
 		return Hierarchical{}, nil
+	case "maxbips-dp", "maxbips-bb", "maxbips-hier", "maxbips-sharded":
+		sname := map[string]string{
+			"maxbips-dp":      "dp",
+			"maxbips-bb":      "bb",
+			"maxbips-hier":    "hier",
+			"maxbips-sharded": "exhaustive",
+		}[name]
+		s, err := solver.New(sname, opt)
+		if err != nil {
+			return nil, err
+		}
+		return SolverPolicy{Solver: s}, nil
 	default:
-		return nil, fmt.Errorf("core: unknown policy %q (want maxbips|greedy|priority|pullhipushlo|chipwide|oracle|stable|fairness|hierarchical)", name)
+		return nil, fmt.Errorf("core: unknown policy %q (want maxbips|greedy|priority|pullhipushlo|chipwide|oracle|stable|fairness|hierarchical|maxbips-dp|maxbips-bb|maxbips-hier|maxbips-sharded)", name)
 	}
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"gpm/internal/modes"
+	"gpm/internal/solver"
+)
+
+// SolverPolicy adapts an internal/solver budgeted mode-allocation solver to
+// the Policy interface: every explore-interval decision becomes one
+// solver.Instance over the §5.5 matrices. This is how MaxBIPS-quality
+// decisions reach chip widths the exhaustive kernel cannot — maxbips-bb is
+// exact at 64+ cores, maxbips-hier scales to 1024.
+type SolverPolicy struct {
+	Solver solver.Solver
+	// Label overrides the displayed name (default "MaxBIPS[<solver>]").
+	Label string
+}
+
+// Name implements Policy.
+func (p SolverPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("MaxBIPS[%s]", p.Solver.Name())
+}
+
+// Decide implements Policy.
+func (p SolverPolicy) Decide(ctx Context) modes.Vector {
+	v, _ := p.Solver.Solve(solver.Instance{
+		Plan:    ctx.Plan,
+		BudgetW: ctx.BudgetW,
+		Power:   ctx.Matrices.Power,
+		Instr:   ctx.Matrices.Instr,
+	})
+	return v
+}

@@ -1,0 +1,265 @@
+package solver
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// BB is an exact branch-and-bound solver. It branches on cores in index
+// order (mode 0 first, so leaves are reached in lexicographic order), seeds
+// its incumbent with the greedy heuristic, and prunes with two tests:
+//
+//   - feasibility: prefix power plus the suffix's minimum power already
+//     exceeds the budget;
+//   - bound: the fractional relaxation — each undecided core may take any
+//     convex combination of its efficient (power, instr) points — cannot
+//     beat the incumbent. The relaxation is solved in closed form by
+//     water-filling the remaining budget over the per-core convex-hull
+//     segments in decreasing ΔBIPS/ΔW order.
+//
+// Leaves are scored with canonical core-order sums, so an accepted vector's
+// (throughput, power) is bit-identical to the exhaustive kernel's score of
+// the same vector.
+type BB struct {
+	// NodeLimit caps branch nodes; 0 means unlimited. When exceeded, BB
+	// returns its incumbent with Exact=false (an anytime cutoff for
+	// thousand-core instances).
+	NodeLimit int64
+	// LexTies makes BB reproduce the exhaustive kernel bit-for-bit: pruning
+	// keeps subtrees that merely *tie* the incumbent's throughput, so among
+	// equal-(throughput, power) optima the lexicographically smallest
+	// vector survives, exactly as lexicographic enumeration with strict
+	// improvement would pick. The default prunes ties, which preserves the
+	// optimal value but may return a different representative on exact
+	// ties; symmetric instances (replicated cores) then branch far less.
+	LexTies bool
+}
+
+// Name implements Solver.
+func (*BB) Name() string { return "bb" }
+
+// frontier is the precomputed relaxation machinery for one instance.
+type frontier struct {
+	// baseP/baseI are each core's minimum-power efficient point.
+	baseP, baseI []float64
+	// sufP/sufI[c] sum baseP/baseI over cores c..n-1 (sufP[n] == 0).
+	sufP, sufI []float64
+	// segs are all cores' hull segments, sorted by decreasing ΔI/ΔP.
+	segs []segment
+}
+
+type segment struct {
+	core   int
+	dP, dI float64
+	ratio  float64
+}
+
+// buildFrontier computes per-core efficient frontiers (upper-left convex
+// hulls of the (power, instr) mode points) and the suffix aggregates the
+// bound needs.
+func buildFrontier(in Instance) *frontier {
+	n, m := in.NumCores(), in.NumModes()
+	f := &frontier{
+		baseP: make([]float64, n),
+		baseI: make([]float64, n),
+		sufP:  make([]float64, n+1),
+		sufI:  make([]float64, n+1),
+	}
+	type pt struct {
+		p, i float64
+	}
+	for c := 0; c < n; c++ {
+		pts := make([]pt, 0, m)
+		for mo := 0; mo < m; mo++ {
+			pts = append(pts, pt{in.Power[c][mo], in.Instr[c][mo]})
+		}
+		sort.Slice(pts, func(a, b int) bool {
+			if pts[a].p != pts[b].p {
+				return pts[a].p < pts[b].p
+			}
+			return pts[a].i > pts[b].i
+		})
+		// Drop dominated points (≥ power for ≤ instr), then keep the concave
+		// hull: slopes must strictly decrease left to right.
+		hull := make([]pt, 0, m)
+		for _, q := range pts {
+			if len(hull) > 0 && q.i <= hull[len(hull)-1].i {
+				continue // dominated (incl. equal-power duplicates)
+			}
+			for len(hull) >= 2 {
+				a, b := hull[len(hull)-2], hull[len(hull)-1]
+				// Pop b if the a→q slope is at least the a→b slope.
+				if (q.i-a.i)*(b.p-a.p) >= (b.i-a.i)*(q.p-a.p) {
+					hull = hull[:len(hull)-1]
+				} else {
+					break
+				}
+			}
+			hull = append(hull, q)
+		}
+		f.baseP[c] = hull[0].p
+		f.baseI[c] = hull[0].i
+		for k := 1; k < len(hull); k++ {
+			dP := hull[k].p - hull[k-1].p
+			dI := hull[k].i - hull[k-1].i
+			f.segs = append(f.segs, segment{core: c, dP: dP, dI: dI, ratio: dI / dP})
+		}
+	}
+	for c := n - 1; c >= 0; c-- {
+		f.sufP[c] = f.sufP[c+1] + f.baseP[c]
+		f.sufI[c] = f.sufI[c+1] + f.baseI[c]
+	}
+	sort.SliceStable(f.segs, func(a, b int) bool {
+		if f.segs[a].ratio != f.segs[b].ratio {
+			return f.segs[a].ratio > f.segs[b].ratio
+		}
+		return f.segs[a].core < f.segs[b].core
+	})
+	return f
+}
+
+// bound returns a throughput upper bound for completions of a prefix that
+// has fixed cores 0..c-1 at (usedP, usedI), or -Inf when no completion can
+// fit the budget. The result is inflated by a tiny relative slack so float
+// associativity differences can never prune a genuinely optimal leaf.
+func (f *frontier) bound(in Instance, c int, usedP, usedI float64) float64 {
+	slack := in.BudgetW - usedP - f.sufP[c]
+	if slack < -in.budgetEps() {
+		return math.Inf(-1)
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	ub := usedI + f.sufI[c]
+	for _, s := range f.segs {
+		if s.core < c {
+			continue
+		}
+		if s.dP <= slack {
+			ub += s.dI
+			slack -= s.dP
+		} else {
+			ub += s.dI * slack / s.dP
+			break
+		}
+	}
+	return ub + 1e-9*(1+math.Abs(ub))
+}
+
+// Solve implements Solver.
+func (b *BB) Solve(in Instance) (modes.Vector, Stats) {
+	start := time.Now()
+	st := Stats{Solver: b.Name(), Exact: true}
+	n := in.NumCores()
+	if n == 0 {
+		st.Elapsed = time.Since(start)
+		return modes.Vector{}, st
+	}
+	f := buildFrontier(in)
+	st.UpperBoundInstr = f.bound(in, 0, 0, 0)
+
+	// Greedy incumbent seed. In LexTies mode the seed only tightens the
+	// pruning floor — the incumbent vector must be discovered by the lex
+	// DFS itself, or a greedy optimum could shadow a lex-smaller tie.
+	gv, _ := greedySolve(in)
+	gp := in.VectorPower(gv)
+	gt := in.VectorInstr(gv)
+	seedFeasible := gp <= in.BudgetW
+
+	s := &bbState{in: in, f: f, limit: b.NodeLimit, lexTies: b.LexTies}
+	s.bestT, s.bestP = -1, 0
+	if seedFeasible {
+		s.floor = gt
+		if !b.LexTies {
+			s.have = true
+			s.best = gv.Clone()
+			s.bestT, s.bestP = gt, gp
+		}
+	} else {
+		s.floor = math.Inf(-1)
+	}
+	s.v = make(modes.Vector, n)
+	s.rec(0, 0, 0)
+
+	st.Nodes, st.Pruned = s.nodes, s.pruned
+	st.Exact = !s.aborted
+	st.Elapsed = time.Since(start)
+	if !s.have {
+		if seedFeasible {
+			return gv, st // only possible under an aggressive NodeLimit
+		}
+		return in.deepestVector(), st
+	}
+	return s.best, st
+}
+
+type bbState struct {
+	in      Instance
+	f       *frontier
+	limit   int64
+	lexTies bool
+
+	v            modes.Vector
+	best         modes.Vector
+	bestT, bestP float64
+	floor        float64 // pruning floor: max of seed and incumbent throughput
+	have         bool
+	nodes        int64
+	pruned       int64
+	aborted      bool
+}
+
+func (s *bbState) rec(c int, usedP, usedI float64) {
+	if s.aborted {
+		return
+	}
+	s.nodes++
+	if s.limit > 0 && s.nodes > s.limit {
+		s.aborted = true
+		return
+	}
+	in := s.in
+	if c == in.NumCores() {
+		p := in.VectorPower(s.v)
+		if p > in.BudgetW {
+			return
+		}
+		t := in.VectorInstr(s.v)
+		if !s.have || better(t, p, s.bestT, s.bestP) {
+			s.have = true
+			if s.best == nil {
+				s.best = make(modes.Vector, len(s.v))
+			}
+			copy(s.best, s.v)
+			s.bestT, s.bestP = t, p
+			if t > s.floor {
+				s.floor = t
+			}
+		}
+		return
+	}
+	ub := s.f.bound(in, c, usedP, usedI)
+	if math.IsInf(ub, -1) {
+		s.pruned++
+		return
+	}
+	// LexTies keeps throughput ties alive (strict <); the default prunes
+	// them (≤) once an incumbent vector exists.
+	if s.lexTies || !s.have {
+		if ub < s.floor {
+			s.pruned++
+			return
+		}
+	} else if ub <= s.floor {
+		s.pruned++
+		return
+	}
+	for mo := 0; mo < in.NumModes(); mo++ {
+		s.v[c] = modes.Mode(mo)
+		s.rec(c+1, usedP+in.Power[c][mo], usedI+in.Instr[c][mo])
+	}
+	s.v[c] = 0
+}

@@ -1,0 +1,42 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSolver times every solver across chip widths; `make bench-json`
+// turns this output into BENCH_solver.json. Exhaustive enumeration rows stop
+// at 16 cores (3^16 vectors); the other solvers run to 256.
+func BenchmarkSolver(b *testing.B) {
+	widths := []int{8, 16, 64, 256}
+	for _, name := range Names() {
+		s, err := New(name, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range widths {
+			if name == "exhaustive" && n > 16 {
+				continue // falls back to greedy past the enumerable range
+			}
+			in := randInstance(int64(n), n, plan3(), 0.8)
+			b.Run(fmt.Sprintf("%s/cores=%d", name, n), func(b *testing.B) {
+				var st Stats
+				for i := 0; i < b.N; i++ {
+					_, st = s.Solve(in)
+				}
+				b.ReportMetric(float64(st.Nodes), "nodes/op")
+			})
+		}
+	}
+}
+
+// BenchmarkHier1024 is the scaling headline: a 1024-core decision through
+// the two-level manager.
+func BenchmarkHier1024(b *testing.B) {
+	in := randInstance(1024, 1024, plan3(), 0.8)
+	h := &Hier{ClusterSize: 8}
+	for i := 0; i < b.N; i++ {
+		h.Solve(in)
+	}
+}

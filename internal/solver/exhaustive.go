@@ -1,0 +1,161 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// maxEnumerable bounds the vector count Exhaustive will attempt; beyond it
+// the solver degrades to the greedy heuristic (Exact=false) instead of
+// running for hours. 2^31 vectors is already minutes of work.
+const maxEnumerable = int64(1) << 31
+
+// Exhaustive is the brute-force reference solver: it scores every
+// modes^cores vector, sharded across worker goroutines by prefix. Shard w
+// owns a contiguous range of assignments to the first d cores (the highest
+// lexicographic digits) and enumerates the remaining cores' combinations
+// beneath each prefix; merging shard winners in prefix order under the
+// strict improvement rule reproduces the sequential kernel's result
+// bit-for-bit, including its lexicographic tie-breaking.
+type Exhaustive struct {
+	// Workers bounds the shard goroutines (default GOMAXPROCS).
+	Workers int
+}
+
+// Name implements Solver.
+func (*Exhaustive) Name() string { return "exhaustive" }
+
+// Solve implements Solver.
+func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
+	start := time.Now()
+	n, m := in.NumCores(), in.NumModes()
+	st := Stats{Solver: e.Name(), Exact: true}
+	if n == 0 {
+		st.Elapsed = time.Since(start)
+		return modes.Vector{}, st
+	}
+
+	// Refuse intractable instances: fall back to greedy rather than hang.
+	total := int64(1)
+	for c := 0; c < n; c++ {
+		if total > maxEnumerable/int64(m) {
+			v, nodes := greedySolve(in)
+			st.Exact = false
+			st.Nodes = nodes
+			st.Elapsed = time.Since(start)
+			return v, st
+		}
+		total *= int64(m)
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Prefix depth: enough prefixes to give every worker several shards'
+	// worth of balance, but never the whole problem.
+	depth := 0
+	numPrefix := int64(1)
+	for numPrefix < int64(workers)*8 && depth < n-1 {
+		numPrefix *= int64(m)
+		depth++
+	}
+	if int64(workers) > numPrefix {
+		workers = int(numPrefix)
+	}
+	st.Workers = workers
+
+	type shardBest struct {
+		found bool
+		t, p  float64
+		v     modes.Vector
+		nodes int64
+	}
+	results := make([]shardBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := numPrefix * int64(w) / int64(workers)
+		hi := numPrefix * int64(w+1) / int64(workers)
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			results[w] = enumerateRange(in, depth, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in shard (prefix) order with the strict rule: the first shard to
+	// reach the optimum (t, p) wins, i.e. the lexicographically smallest
+	// optimal vector overall.
+	best := in.deepestVector()
+	bestT, bestP := -1.0, 0.0
+	found := false
+	for _, r := range results {
+		st.Nodes += r.nodes
+		if !r.found {
+			continue
+		}
+		if !found || better(r.t, r.p, bestT, bestP) {
+			found = true
+			bestT, bestP = r.t, r.p
+			best = r.v
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return best, st
+}
+
+// enumerateRange scores every vector whose first `depth` cores decode the
+// prefix indices in [lo, hi); suffix cores run a full odometer. Vectors are
+// visited in lexicographic order within the range.
+func enumerateRange(in Instance, depth int, lo, hi int64) (out struct {
+	found bool
+	t, p  float64
+	v     modes.Vector
+	nodes int64
+}) {
+	n, m := in.NumCores(), in.NumModes()
+	v := make(modes.Vector, n)
+	best := make(modes.Vector, n)
+	for pi := lo; pi < hi; pi++ {
+		// Decode the prefix, most-significant digit first (core 0).
+		rem := pi
+		for c := depth - 1; c >= 0; c-- {
+			v[c] = modes.Mode(rem % int64(m))
+			rem /= int64(m)
+		}
+		for c := depth; c < n; c++ {
+			v[c] = 0
+		}
+		for {
+			out.nodes++
+			p := in.VectorPower(v)
+			if p <= in.BudgetW {
+				t := in.VectorInstr(v)
+				if !out.found || better(t, p, out.t, out.p) {
+					out.found = true
+					out.t, out.p = t, p
+					copy(best, v)
+				}
+			}
+			// Suffix odometer.
+			c := n - 1
+			for c >= depth {
+				v[c]++
+				if int(v[c]) < m {
+					break
+				}
+				v[c] = 0
+				c--
+			}
+			if c < depth {
+				break
+			}
+		}
+	}
+	out.v = best
+	return out
+}

@@ -1,0 +1,202 @@
+package solver
+
+import (
+	"sync"
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// Hier is the two-level manager that makes thousand-core chips tractable:
+// the chip budget is partitioned across fixed clusters of ClusterSize cores,
+// each cluster is solved independently (and concurrently) by the Inner
+// solver within its share, and the aggregate slack the clusters leave unused
+// — mode power is quantized, so shares are never spent exactly — is
+// re-offered to each cluster in turn for RebalancePasses rounds.
+//
+// Budget split rule: each cluster's share is its demand under the chip-wide
+// greedy allocation (the power the marginal-utility pass would spend inside
+// the cluster), plus an even split of any remaining headroom. When Alpha is
+// non-zero the shares are additionally smoothed across Solve calls —
+// share = Alpha·previous + (1−Alpha)·demand — so a cluster whose workload
+// ramps keeps part of its grant between explore intervals instead of being
+// re-zeroed by one quiet sample (inter-interval rebalancing). The decision
+// cost is O(cores²·modes) for the demand pass plus numClusters independent
+// ClusterSize-core solves.
+type Hier struct {
+	// ClusterSize is the number of cores per cluster (default 8).
+	ClusterSize int
+	// Inner solves each cluster within its share (default exact BB).
+	Inner Solver
+	// RebalancePasses is the number of slack-redistribution rounds after
+	// the initial per-share solve (default 2).
+	RebalancePasses int
+	// Alpha in [0,1) smooths shares across calls; 0 (default) is stateless.
+	Alpha float64
+
+	mu     sync.Mutex
+	shares []float64 // previous grants, when Alpha > 0
+}
+
+// Name implements Solver.
+func (*Hier) Name() string { return "hier" }
+
+func (h *Hier) clusterSize() int {
+	if h.ClusterSize <= 0 {
+		return 8
+	}
+	return h.ClusterSize
+}
+
+func (h *Hier) inner() Solver {
+	if h.Inner == nil {
+		return &BB{}
+	}
+	return h.Inner
+}
+
+// Solve implements Solver.
+func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
+	start := time.Now()
+	st := Stats{Solver: h.Name()}
+	n := in.NumCores()
+	if n == 0 {
+		st.Exact = true
+		st.Elapsed = time.Since(start)
+		return modes.Vector{}, st
+	}
+	k := h.clusterSize()
+	inner := h.inner()
+	if k >= n {
+		v, ist := inner.Solve(in)
+		ist.Solver = st.Solver
+		ist.Elapsed = time.Since(start)
+		return v, ist
+	}
+
+	type cluster struct{ lo, hi int }
+	var clusters []cluster
+	for lo := 0; lo < n; lo += k {
+		hi := lo + k
+		if hi > n {
+			hi = n
+		}
+		clusters = append(clusters, cluster{lo, hi})
+	}
+
+	sub := func(i int, shareW float64) Instance {
+		cl := clusters[i]
+		return Instance{
+			Plan:    in.Plan,
+			BudgetW: shareW,
+			Power:   in.Power[cl.lo:cl.hi],
+			Instr:   in.Instr[cl.lo:cl.hi],
+		}
+	}
+
+	// Global level: greedy demand shares plus an even headroom split.
+	gv, gnodes := greedySolve(in)
+	st.Nodes += gnodes
+	shares := make([]float64, len(clusters))
+	var demand float64
+	for i, cl := range clusters {
+		for c := cl.lo; c < cl.hi; c++ {
+			shares[i] += in.Power[c][gv[c]]
+		}
+		demand += shares[i]
+	}
+	if headroom := in.BudgetW - demand; headroom > 0 {
+		for i := range shares {
+			shares[i] += headroom / float64(len(shares))
+		}
+	}
+
+	// Inter-interval smoothing: blend with the previous grants, then scale
+	// back under the budget if the blend overshoots it.
+	if h.Alpha > 0 {
+		h.mu.Lock()
+		if len(h.shares) == len(shares) {
+			var sum float64
+			for i := range shares {
+				shares[i] = h.Alpha*h.shares[i] + (1-h.Alpha)*shares[i]
+				sum += shares[i]
+			}
+			if sum > in.BudgetW && sum > 0 {
+				scale := in.BudgetW / sum
+				for i := range shares {
+					shares[i] *= scale
+				}
+			}
+		}
+		h.mu.Unlock()
+	}
+
+	// Local level: independent per-cluster solves, concurrently.
+	out := make(modes.Vector, n)
+	used := make([]float64, len(clusters))
+	nodes := make([]int64, len(clusters))
+	var wg sync.WaitGroup
+	for i := range clusters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sub(i, shares[i])
+			v, ist := inner.Solve(s)
+			copy(out[clusters[i].lo:clusters[i].hi], v)
+			used[i] = s.VectorPower(v)
+			nodes[i] = ist.Nodes
+		}(i)
+	}
+	wg.Wait()
+	var spent float64
+	for i := range clusters {
+		st.Nodes += nodes[i]
+		spent += used[i]
+	}
+
+	// Slack redistribution: clusters never spend their exact share, so the
+	// aggregate remainder is re-offered to each cluster in turn.
+	passes := h.RebalancePasses
+	if passes == 0 {
+		passes = 2
+	}
+	eps := in.budgetEps()
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for i := range clusters {
+			slack := in.BudgetW - spent
+			if slack <= eps {
+				break
+			}
+			s := sub(i, used[i]+slack)
+			v, ist := inner.Solve(s)
+			st.Nodes += ist.Nodes
+			p := s.VectorPower(v)
+			if p != used[i] {
+				improved = true
+			}
+			copy(out[clusters[i].lo:clusters[i].hi], v)
+			spent += p - used[i]
+			used[i] = p
+		}
+		if !improved {
+			break
+		}
+	}
+
+	if h.Alpha > 0 {
+		h.mu.Lock()
+		h.shares = append(h.shares[:0], used...)
+		h.mu.Unlock()
+	}
+
+	// The per-cluster canonical sums can differ from the chip-level sum by
+	// float dust; if that (or an infeasible cluster floor) pushed the chip
+	// over budget, fall back to the greedy vector, which is feasible
+	// whenever anything is.
+	if in.VectorPower(out) > in.BudgetW {
+		out = gv
+	}
+	st.Elapsed = time.Since(start)
+	return out, st
+}

@@ -1,0 +1,228 @@
+// Package solver provides scalable budgeted mode-allocation solvers for the
+// global power manager's per-interval decision: given the §5.5 Power/BIPS
+// Matrices and a chip budget, pick the per-core mode vector that maximizes
+// predicted throughput without exceeding the budget.
+//
+// The paper's MaxBIPS policy (§5.2.3) enumerates all modes^cores vectors,
+// which is exact but explodes past ~16 cores. This package factors the
+// decision out of internal/core into pluggable solvers behind one interface,
+// all proven against the exhaustive kernel:
+//
+//   - Exhaustive: the brute-force reference, prefix-sharded across worker
+//     goroutines so the tractable range stretches a few cores further.
+//   - DP: a pseudo-polynomial multiple-choice knapsack over quantized power
+//     with a configurable quantum and a certified optimality-gap bound.
+//   - BB: exact branch-and-bound seeded with the greedy incumbent and pruned
+//     by a fractional (convex-hull water-filling) relaxation upper bound —
+//     exact answers at 64+ cores in microseconds to milliseconds.
+//   - Hier: a two-level manager that partitions the chip budget across core
+//     clusters, solves each cluster independently, and rebalances slack
+//     between clusters — the 1000-core scaling story.
+//   - Greedy: the marginal-utility heuristic (core.GreedyMaxBIPS's algorithm),
+//     used standalone and as the incumbent seed for BB and Hier.
+//
+// All solvers are deterministic: ties on predicted throughput resolve to
+// lower power, then to the lexicographically smallest vector, matching the
+// exhaustive kernel in internal/core.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// Instance is one budgeted mode-allocation problem: choose one mode per core
+// so that the summed predicted power stays within BudgetW and the summed
+// predicted instructions are maximal.
+type Instance struct {
+	Plan    modes.Plan
+	BudgetW float64
+	// Power[c][m] and Instr[c][m] are the §5.5 matrices: predicted average
+	// watts and committed instructions for core c in mode m.
+	Power [][]float64
+	Instr [][]float64
+}
+
+// NumCores returns the decision width.
+func (in Instance) NumCores() int { return len(in.Power) }
+
+// NumModes returns the number of levels per core.
+func (in Instance) NumModes() int { return in.Plan.NumModes() }
+
+// VectorPower sums predicted power in core order. All solvers score
+// candidate vectors with these canonical-order sums so float associativity
+// cannot make two solvers disagree about the same vector.
+func (in Instance) VectorPower(v modes.Vector) float64 {
+	var p float64
+	for c, m := range v {
+		p += in.Power[c][m]
+	}
+	return p
+}
+
+// VectorInstr sums predicted instructions in core order.
+func (in Instance) VectorInstr(v modes.Vector) float64 {
+	var t float64
+	for c, m := range v {
+		t += in.Instr[c][m]
+	}
+	return t
+}
+
+// deepest returns the all-deepest vector, the shared infeasibility fallback
+// (identical to the exhaustive kernel's).
+func (in Instance) deepestVector() modes.Vector {
+	return modes.Uniform(in.NumCores(), modes.Mode(in.NumModes()-1))
+}
+
+// budgetEps is the absolute feasibility slack used for internal pruning and
+// cross-solver checks; canonical-order sums at leaves are the authority.
+func (in Instance) budgetEps() float64 {
+	b := in.BudgetW
+	if b < 0 {
+		b = -b
+	}
+	return 1e-9 * (1 + b)
+}
+
+// better is the kernel's deterministic improvement rule: higher throughput
+// wins, equal throughput prefers lower power. Remaining ties keep the
+// earlier vector, so solvers that visit candidates in lexicographic order
+// and replace strictly reproduce the exhaustive kernel bit-for-bit.
+func better(t, p, bestT, bestP float64) bool {
+	return t > bestT || (t == bestT && p < bestP)
+}
+
+// Stats describes one Solve call for benchmarking and quality accounting.
+type Stats struct {
+	// Solver is the registry name of the solver that produced the vector.
+	Solver string
+	// Nodes counts evaluated states: vectors for enumerative solvers,
+	// branch nodes for BB, table cells for DP.
+	Nodes int64
+	// Pruned counts subtrees cut by bounds (BB only).
+	Pruned int64
+	// Exact reports that the returned vector is a true optimum of the
+	// instance (not merely of a relaxation or decomposition).
+	Exact bool
+	// GapBound, for inexact solvers that can certify one, bounds the
+	// relative throughput shortfall vs the true optimum:
+	// (OPT − returned) / OPT ≤ GapBound.
+	GapBound float64
+	// UpperBoundInstr is the fractional-relaxation throughput upper bound
+	// when the solver computed one (BB root bound, DP gap certificate).
+	UpperBoundInstr float64
+	// Workers is the goroutine count used by parallel solvers.
+	Workers int
+	// Elapsed is the wall-clock duration of the Solve call.
+	Elapsed time.Duration
+}
+
+// Solver is one budgeted mode-allocation algorithm. Implementations must be
+// deterministic and safe for reuse across calls; Hier is additionally
+// stateful across calls (inter-interval rebalancing) and guards its state
+// internally.
+type Solver interface {
+	Name() string
+	Solve(in Instance) (modes.Vector, Stats)
+}
+
+// Options parameterizes New.
+type Options struct {
+	// QuantumW is DP's power quantum in watts; 0 selects the adaptive
+	// default BudgetW / max(2048, 16·cores).
+	QuantumW float64
+	// ClusterSize is Hier's cores-per-cluster (default 8).
+	ClusterSize int
+	// Workers bounds the goroutines of parallel solvers (default GOMAXPROCS).
+	Workers int
+	// NodeLimit caps BB's branch nodes; 0 means unlimited. When the cap is
+	// hit BB returns its incumbent with Exact=false.
+	NodeLimit int64
+}
+
+// Names lists the registry names accepted by New.
+func Names() []string { return []string{"exhaustive", "dp", "bb", "hier", "greedy"} }
+
+// New builds a solver by registry name.
+func New(name string, opt Options) (Solver, error) {
+	switch name {
+	case "exhaustive":
+		return &Exhaustive{Workers: opt.Workers}, nil
+	case "dp":
+		return &DP{QuantumW: opt.QuantumW}, nil
+	case "bb":
+		return &BB{NodeLimit: opt.NodeLimit}, nil
+	case "hier":
+		return &Hier{ClusterSize: opt.ClusterSize, Inner: &BB{NodeLimit: opt.NodeLimit}}, nil
+	case "greedy":
+		return Greedy{}, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown solver %q (want exhaustive|dp|bb|hier|greedy)", name)
+	}
+}
+
+// Greedy is the marginal-utility heuristic: start from the all-deepest
+// vector and repeatedly apply the single-core, single-step upgrade with the
+// best ΔBIPS/ΔPower ratio that still fits the budget. O(cores² × modes).
+// Ties on the ratio resolve to the lowest core index (the scan keeps the
+// first maximum), mirroring core.GreedyMaxBIPS so cross-checks between the
+// two implementations are deterministic.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (g Greedy) Solve(in Instance) (modes.Vector, Stats) {
+	start := time.Now()
+	v, nodes := greedySolve(in)
+	return v, Stats{Solver: g.Name(), Nodes: nodes, Elapsed: time.Since(start)}
+}
+
+// greedySolve is the shared greedy kernel; BB seeds its incumbent and Hier
+// derives its demand shares from it.
+func greedySolve(in Instance) (modes.Vector, int64) {
+	n := in.NumCores()
+	v := in.deepestVector()
+	power := in.VectorPower(v)
+	var nodes int64
+	if power > in.BudgetW {
+		return v, nodes // even the floor exceeds the budget
+	}
+	for {
+		bestCore := -1
+		bestRatio := -1.0
+		var bestDP float64
+		for c := 0; c < n; c++ {
+			if v[c] == 0 {
+				continue
+			}
+			up := v[c] - 1
+			dp := in.Power[c][up] - in.Power[c][v[c]]
+			di := in.Instr[c][up] - in.Instr[c][v[c]]
+			nodes++
+			if power+dp > in.BudgetW {
+				continue
+			}
+			ratio := di
+			if dp > 1e-12 {
+				ratio = di / dp
+			} else if di > 0 {
+				ratio = 1e18 // free throughput
+			}
+			if ratio > bestRatio {
+				bestRatio = ratio
+				bestCore = c
+				bestDP = dp
+			}
+		}
+		if bestCore < 0 {
+			return v, nodes
+		}
+		v[bestCore]--
+		power += bestDP
+	}
+}
