@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json
+.PHONY: all build vet test race check bench-json golden
 
 all: check
 
@@ -25,8 +25,20 @@ race: vet
 check: race
 
 # Machine-readable solver benchmarks: ns/op, B/op, allocs/op and nodes/op per
-# solver at 8/16/64/256 cores (plus the 1024-core hierarchical decision).
+# solver at 8/16/64/256 cores (plus the 1024-core hierarchical decision), and
+# engine decision-loop benchmarks (ns/decision across manager + middleware
+# configurations on the synthetic substrate).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024' -benchmem ./internal/solver \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo wrote BENCH_solver.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine \
+		| $(GO) run ./cmd/benchjson > BENCH_engine.json
+	@echo wrote BENCH_engine.json
+
+# The refactor-safety gate: golden fingerprints pin the trace-based control
+# loop bit-identical, and the cross-substrate test asserts both substrates
+# agree through the shared engine.
+golden:
+	$(GO) test -count=1 -run 'TestGoldenControlLoop' ./internal/cmpsim
+	$(GO) test -count=1 -run 'TestRunPolicyGoldenBitIdentical|TestCrossSubstrate' ./internal/experiment

@@ -6,8 +6,8 @@
 //	gpmsim [flags] <experiment> [experiment...]
 //
 // Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 validate modecount explore scaleout transrate minpower selectors
-// thermal sched resilience scaling run all
+// fig11 validate xcheck modecount explore scaleout transrate minpower
+// selectors thermal sched resilience scaling run all
 //
 // Examples:
 //
@@ -20,6 +20,7 @@
 //	gpmsim scaling                                    # solver quality/wall-clock at 8..1024 cores
 //	gpmsim -solver bb -combo 8w-mixed -budget 0.75 run  # exact BB-backed MaxBIPS run
 //	gpmsim -solver hier -clusters 16 scaling          # hierarchical solver, 16-core clusters
+//	gpmsim -quick xcheck                              # per-policy cmpsim vs fullsim agreement
 package main
 
 import (
@@ -56,7 +57,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>...")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate modecount explore scaleout transrate minpower selectors thermal sched resilience scaling run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience scaling run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -124,6 +125,8 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return fig11(env)
 	case "validate":
 		return validate(env)
+	case "xcheck":
+		return xcheck(env)
 	case "modecount":
 		return modecount(env)
 	case "explore":
@@ -309,6 +312,40 @@ func validate(env *experiment.Env) error {
 	emit(t)
 	fmt.Printf("mean power drop %.1f%% (CMP consistently lower), mean IPC drop %.1f%%, shared-L2 wait %d cycles\n\n",
 		v.MeanPowerDrop*100, v.MeanIPCDrop*100, v.L2WaitCycles)
+	return nil
+}
+
+// xcheck runs the cross-substrate agreement experiment: the same policies,
+// budget and engine control loop on the trace players and the cycle-level
+// chip, reporting per-policy throughput/power agreement.
+func xcheck(env *experiment.Env) error {
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	intervals := 24
+	if *flagQuick {
+		intervals = 10
+	}
+	res, err := env.CrossSubstrate(combo, *flagBudget, intervals, nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Cross-substrate agreement: %s at %.0f%% budget (%.1f W, %d intervals)",
+		res.ComboID, res.BudgetFrac*100, res.BudgetW, res.Intervals),
+		"policy", "trace deg", "full deg", "gap", "trace power", "full power", "trace fit", "full fit")
+	for _, r := range res.Rows {
+		t.AddRow(r.Policy, report.Pct(r.TraceDeg), report.Pct(r.FullDeg), report.Pct(r.DegGap),
+			report.W(r.TraceAvgPowerW), report.W(r.FullAvgPowerW),
+			report.Pct(r.TraceFit), report.Pct(r.FullFit))
+	}
+	emit(t)
+	if res.RankAgree {
+		fmt.Println("policy ranking: substrates agree")
+	} else {
+		fmt.Println("policy ranking: substrates DISAGREE")
+	}
+	fmt.Println()
 	return nil
 }
 

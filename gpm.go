@@ -198,6 +198,16 @@ type ResilienceOptions = experiment.ResilienceOptions
 // ResiliencePolicies is the default policy set for ResilienceSweep.
 func ResiliencePolicies() []Policy { return experiment.ResiliencePolicies() }
 
+// CrossSubstrateRow and CrossSubstrateResult belong to System.CrossSubstrate,
+// which runs the same policies and budget through the engine's shared control
+// loop on both substrates — trace players and the cycle-level chip — and
+// reports per-policy throughput/power agreement (`gpmsim xcheck`).
+type CrossSubstrateRow = experiment.CrossSubstrateRow
+type CrossSubstrateResult = experiment.CrossSubstrateResult
+
+// CrossSubstratePolicies is the default policy set for System.CrossSubstrate.
+func CrossSubstratePolicies() []Policy { return experiment.CrossSubstratePolicies() }
+
 // Degradation returns 1 − policy/baseline committed instructions.
 func Degradation(policyInstr, baselineInstr float64) float64 {
 	return metrics.Degradation(policyInstr, baselineInstr)

@@ -4,16 +4,20 @@
 // global power manager (internal/core) reassign per-core modes at every
 // explore interval (500 µs), charging DVFS transition overheads as
 // synchronized stalls (§5.1).
+//
+// The control loop itself lives in internal/engine; this package supplies
+// the trace-player Substrate and the option plumbing, so the same loop —
+// middleware chain, guard, thermal integration, accounting — also drives the
+// cycle-level chip in internal/fullsim.
 package cmpsim
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"gpm/internal/core"
+	"gpm/internal/engine"
 	"gpm/internal/fault"
-	"gpm/internal/metrics"
 	"gpm/internal/modes"
 	"gpm/internal/solver"
 	"gpm/internal/thermal"
@@ -57,113 +61,9 @@ type Options struct {
 	Guard *core.GuardConfig
 }
 
-// Result captures a full run at delta-sim resolution.
-type Result struct {
-	Combo  workload.Combo
-	Policy string
-
-	// DeltaSim is the interval length of the series below.
-	DeltaSim time.Duration
-	// ChipPowerW[i] is average chip power over delta interval i.
-	ChipPowerW []float64
-	// CorePowerW[i][c] and CoreInstr[i][c] are per-core series.
-	CorePowerW [][]float64
-	CoreInstr  [][]float64
-	// BudgetW[i] is the budget in force during interval i.
-	BudgetW []float64
-	// Modes[k] is the vector in force during explore interval k.
-	Modes []modes.Vector
-
-	// Elapsed is the simulated wall time (horizon, or first completion).
-	Elapsed time.Duration
-	// FirstCompleted is the core whose benchmark finished first, or -1.
-	FirstCompleted int
-	// TotalInstr is aggregate committed instructions; PerCoreInstr splits it.
-	TotalInstr   float64
-	PerCoreInstr []float64
-	// EnergyJ is total chip energy over the run.
-	EnergyJ float64
-	// TransitionStall is the cumulative synchronized stall time.
-	TransitionStall time.Duration
-	// OvershootIntervals counts delta intervals whose average chip power
-	// exceeded the in-force budget (short excursions corrected at the next
-	// explore boundary, §5.5).
-	OvershootIntervals int
-	// MaxTempC[i] is the hottest core's temperature during delta interval i
-	// (only populated when Options.Thermal is set).
-	MaxTempC []float64
-
-	// Robustness accounting (§ "Fault model & resilience" in DESIGN.md).
-	//
-	// OvershootEnergyWs integrates every budget violation over the run, in
-	// watt·seconds; WorstOvershootWs is the largest violation accumulated
-	// by a single contiguous run of over-budget intervals — the sustained
-	// excursion the package's margins must absorb.
-	OvershootEnergyWs float64
-	WorstOvershootWs  float64
-	// EmergencyEntries counts engagements of the hard-cap throttle and
-	// EmergencyIntervals the explore intervals spent throttled (guarded
-	// runs only).
-	EmergencyEntries   int
-	EmergencyIntervals int
-	// RecoveryLatency is the longest single emergency episode: the time
-	// from throttle engagement until normal policy operation resumed.
-	RecoveryLatency time.Duration
-	// DeadCores lists cores the guarded manager declared dead and parked.
-	DeadCores []int
-	// SanitizedSamples counts per-core sensor readings the guarded manager
-	// rejected or clamped; RescaledIntervals counts decisions where the
-	// per-core sensors were rescaled to the chip-level measurement.
-	SanitizedSamples  int
-	RescaledIntervals int
-	// FinalSamples are the interval-average per-core samples of the last
-	// (possibly truncated) explore interval — what the manager would have
-	// based its next decision on had the run continued.
-	FinalSamples []core.Sample
-}
-
-// AvgChipPowerW returns the run's average chip power.
-func (r *Result) AvgChipPowerW() float64 {
-	if r.Elapsed <= 0 {
-		return 0
-	}
-	return r.EnergyJ / r.Elapsed.Seconds()
-}
-
-// MaxChipPowerW returns the maximum delta-interval chip power.
-func (r *Result) MaxChipPowerW() float64 {
-	var m float64
-	for _, p := range r.ChipPowerW {
-		if p > m {
-			m = p
-		}
-	}
-	return m
-}
-
-// EnvelopePowerW returns the worst-case chip power envelope: the sum of each
-// core's maximum observed delta-interval power. Budgets are expressed as
-// fractions of this envelope — the power a designer must provision for
-// without global management (the "worst-case designs" §8 says dynamic
-// management avoids). It exceeds MaxChipPowerW because per-core peaks rarely
-// align, mirroring the paper's widening average-vs-peak gap (§1).
-func (r *Result) EnvelopePowerW() float64 {
-	if len(r.CorePowerW) == 0 {
-		return 0
-	}
-	n := len(r.CorePowerW[0])
-	var sum float64
-	for c := 0; c < n; c++ {
-		var m float64
-		for i := range r.CorePowerW {
-			if p := r.CorePowerW[i][c]; p > m {
-				m = p
-			}
-		}
-		sum += m
-	}
-	return sum
-}
+// Result captures a full run at delta-sim resolution. It is the engine's
+// substrate-agnostic result type: fullsim managed runs return the same type.
+type Result = engine.Result
 
 // MemBoundedness derives a [0,1] memory-boundedness score per benchmark in
 // the combo: 1 − (whole-program Eff-deepest degradation / frequency cut).
@@ -192,6 +92,48 @@ func MemBoundedness(lib *trace.Library, combo workload.Combo) ([]float64, error)
 	}
 	return out, nil
 }
+
+// substrate adapts the trace players to the engine's Substrate interface.
+type substrate struct {
+	players    []*trace.Player
+	exploreSec float64
+	memBound   []float64
+}
+
+func (s *substrate) NumCores() int { return len(s.players) }
+
+func (s *substrate) Bootstrap() []core.Sample {
+	out := make([]core.Sample, len(s.players))
+	for c, pl := range s.players {
+		e, in := pl.Peek(modes.Turbo, s.exploreSec)
+		out[c] = core.Sample{PowerW: e / s.exploreSec, Instr: in}
+	}
+	return out
+}
+
+func (s *substrate) ModePowerW(c int, m modes.Mode) float64 {
+	p, _ := s.players[c].Behavior(m)
+	return p
+}
+
+func (s *substrate) DeltaStep(v modes.Vector, execSec float64, live []bool, energyJ, instr []float64) {
+	for c, pl := range s.players {
+		if live[c] {
+			energyJ[c], instr[c] = pl.Advance(v[c], execSec)
+		}
+	}
+}
+
+func (s *substrate) Finished(c int) bool { return s.players[c].Completed() }
+
+func (s *substrate) Lookahead() func(c int, m modes.Mode) (float64, float64) {
+	return func(c int, m modes.Mode) (float64, float64) {
+		e, in := s.players[c].Peek(m, s.exploreSec)
+		return e / s.exploreSec, in
+	}
+}
+
+func (s *substrate) MemBound() []float64 { return s.memBound }
 
 // Run simulates the combo under the given options.
 func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error) {
@@ -234,189 +176,31 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 			return nil, err
 		}
 	}
-	var mgr *core.Manager
-	var rm *core.ResilientManager
-	if opt.Guard != nil {
-		rm = core.NewResilientManager(plan, opt.Policy, pred, n, *opt.Guard)
-	} else {
-		mgr = core.NewManager(plan, opt.Policy, pred, n)
-	}
 
 	horizon := cfg.Sim.Horizon
 	if opt.Horizon > 0 {
 		horizon = opt.Horizon
 	}
-	deltaSec := cfg.Sim.DeltaSim.Seconds()
-	deltasPerExplore := cfg.DeltaPerExplore()
-	exploreSec := cfg.Sim.Explore.Seconds()
 
-	res := &Result{
-		Combo:          combo,
-		Policy:         opt.Policy.Name(),
-		DeltaSim:       cfg.Sim.DeltaSim,
-		FirstCompleted: -1,
-		PerCoreInstr:   make([]float64, n),
+	sub := &substrate{
+		players:    players,
+		exploreSec: cfg.Sim.Explore.Seconds(),
+		memBound:   memBound,
 	}
-
-	// Bootstrap sample: the local monitors report each core's behaviour at
-	// Turbo before the first decision.
-	current := modes.Uniform(n, modes.Turbo)
-	samples := make([]core.Sample, n)
-	chipMeasured := 0.0 // the independent chip-level (VRM) power sensor
-	for c, pl := range players {
-		e, in := pl.Peek(current[c], exploreSec)
-		samples[c] = core.Sample{PowerW: e / exploreSec, Instr: in}
-		if inj != nil && inj.CoreDead(c, 0) {
-			samples[c] = core.Sample{}
-		}
-		chipMeasured += samples[c].PowerW
-	}
-
-	lookahead := func(c int, m modes.Mode) (float64, float64) {
-		e, in := players[c].Peek(m, exploreSec)
-		return e / exploreSec, in
-	}
-
-	now := time.Duration(0)
-	done := false
-	lastThermalB := math.Inf(1) // last good thermal reading, for sensor death
-	for now < horizon && !done {
-		budget := opt.Budget(now)
-		if math.IsNaN(budget) || budget < 0 {
-			return nil, fmt.Errorf("cmpsim: budget function returned %v at t=%v; budgets must be non-negative", budget, now)
-		}
-		if inj != nil {
-			budget = inj.Budget(now, budget)
-		}
-		if opt.Thermal != nil {
-			tb := opt.Thermal.BudgetW()
-			if inj != nil && inj.ThermalFailed(now) {
-				tb = lastThermalB // a dead sensor repeats its final sample
-			} else {
-				lastThermalB = tb
-			}
-			if tb < budget {
-				budget = tb
-			}
-		}
-		observed := samples
-		if inj != nil {
-			observed = inj.ObserveSamples(now, samples)
-		}
-		var next modes.Vector
-		if rm != nil {
-			next = rm.Step(budget, chipMeasured, observed, lookahead, memBound)
-		} else {
-			next = mgr.Step(budget, observed, lookahead, memBound)
-		}
-		stall := plan.MaxTransitionBetween(current, next)
-		// Per-core stall power: the worst-case endpoint of the transition
-		// (§5.1: execution halts, CPU power is still consumed).
-		stallPower := make([]float64, n)
-		for c := range players {
-			if players[c].Completed() || (inj != nil && inj.CoreDead(c, now)) {
-				continue
-			}
-			pOld, _ := players[c].Behavior(current[c])
-			pNew, _ := players[c].Behavior(next[c])
-			if pOld > pNew {
-				stallPower[c] = pOld
-			} else {
-				stallPower[c] = pNew
-			}
-		}
-		current = next
-		res.Modes = append(res.Modes, current.Clone())
-		res.TransitionStall += stall
-
-		stallLeft := stall.Seconds()
-		intervalPower := make([]float64, n)
-		intervalInstr := make([]float64, n)
-		simmed := 0 // deltas actually simulated; < deltasPerExplore when truncated
-		for d := 0; d < deltasPerExplore && now < horizon; d++ {
-			simmed++
-			rowP := make([]float64, n)
-			rowI := make([]float64, n)
-			var chip float64
-			st := stallLeft
-			if st > deltaSec {
-				st = deltaSec
-			}
-			stallLeft -= st
-			exec := deltaSec - st
-			for c, pl := range players {
-				var e, in float64
-				if !pl.Completed() && (inj == nil || !inj.CoreDead(c, now)) {
-					e = stallPower[c] * st
-					if exec > 0 {
-						ee, ii := pl.Advance(current[c], exec)
-						e += ee
-						in = ii
-					}
-				}
-				rowP[c] = e / deltaSec
-				rowI[c] = in
-				chip += rowP[c]
-				intervalPower[c] += rowP[c]
-				intervalInstr[c] += in
-				res.PerCoreInstr[c] += in
-				res.TotalInstr += in
-				res.EnergyJ += e
-			}
-			if opt.Thermal != nil {
-				opt.Thermal.State().Step(rowP, cfg.Sim.DeltaSim)
-				res.MaxTempC = append(res.MaxTempC, opt.Thermal.State().MaxTemp())
-			}
-			res.CorePowerW = append(res.CorePowerW, rowP)
-			res.CoreInstr = append(res.CoreInstr, rowI)
-			res.ChipPowerW = append(res.ChipPowerW, chip)
-			res.BudgetW = append(res.BudgetW, budget)
-			if chip > budget*(1+1e-9) {
-				res.OvershootIntervals++
-			}
-			now += cfg.Sim.DeltaSim
-			// §5.1 termination: stop when the first benchmark completes.
-			for c, pl := range players {
-				if pl.Completed() {
-					res.FirstCompleted = c
-					done = true
-				}
-			}
-			if done {
-				break
-			}
-		}
-		// Samples for the next decision: averages over the explore interval.
-		// A truncated interval (horizon hit or first-completion exit) must
-		// average over the deltas actually simulated, not the nominal count.
-		den := float64(simmed)
-		if den == 0 {
-			den = 1
-		}
-		chipMeasured = 0
-		for c := range players {
-			samples[c] = core.Sample{
-				PowerW: intervalPower[c] / den,
-				Instr:  intervalInstr[c],
-				Done:   players[c].Completed(),
-			}
-			chipMeasured += samples[c].PowerW
-		}
-	}
-	res.Elapsed = now
-	res.FinalSamples = append([]core.Sample(nil), samples...)
-	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, deltaSec)
-	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, deltaSec)
-	if rm != nil {
-		st := rm.Stats()
-		res.EmergencyEntries = st.EmergencyEntries
-		res.EmergencyIntervals = st.EmergencyIntervals
-		res.RecoveryLatency = time.Duration(st.LongestEmergency) * cfg.Sim.Explore
-		res.DeadCores = st.DeadCores
-		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
-		res.RescaledIntervals = st.RescaledIntervals
-	}
-	return res, nil
+	return engine.Run(sub, engine.Options{
+		Plan:             plan,
+		Budget:           opt.Budget,
+		Decider:          engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard),
+		DeltaSim:         cfg.Sim.DeltaSim,
+		DeltasPerExplore: cfg.DeltaPerExplore(),
+		Explore:          cfg.Sim.Explore,
+		Horizon:          horizon,
+		Thermal:          opt.Thermal,
+		Injector:         inj,
+		ErrPrefix:        "cmpsim",
+		Combo:            combo,
+		PolicyName:       opt.Policy.Name(),
+	})
 }
 
 // FixedBudget returns a constant budget function.

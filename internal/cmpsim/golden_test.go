@@ -1,0 +1,213 @@
+package cmpsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/fault"
+	"gpm/internal/thermal"
+)
+
+// goldenFingerprint hashes every numeric series and counter of a Result
+// bit-exactly, including the robustness accounting and the final samples, so
+// any drift in the simulation loop — decision order, stall accounting,
+// truncation handling, guard state machine — changes the hash.
+func goldenFingerprint(r *Result) uint64 {
+	h := fnv.New64a()
+	w := func(f float64) {
+		var b [8]byte
+		u := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for i := range r.ChipPowerW {
+		w(r.ChipPowerW[i])
+		w(r.BudgetW[i])
+		for c := range r.CorePowerW[i] {
+			w(r.CorePowerW[i][c])
+			w(r.CoreInstr[i][c])
+		}
+	}
+	for _, v := range r.Modes {
+		for _, m := range v {
+			w(float64(m))
+		}
+	}
+	for _, tc := range r.MaxTempC {
+		w(tc)
+	}
+	for c := range r.PerCoreInstr {
+		w(r.PerCoreInstr[c])
+		w(r.FinalSamples[c].PowerW)
+		w(r.FinalSamples[c].Instr)
+		if r.FinalSamples[c].Done {
+			w(1)
+		} else {
+			w(0)
+		}
+	}
+	w(r.TotalInstr)
+	w(r.EnergyJ)
+	w(float64(r.Elapsed))
+	w(float64(r.TransitionStall))
+	w(float64(r.FirstCompleted))
+	w(float64(r.OvershootIntervals))
+	w(r.OvershootEnergyWs)
+	w(r.WorstOvershootWs)
+	w(float64(r.EmergencyEntries))
+	w(float64(r.EmergencyIntervals))
+	w(float64(r.RecoveryLatency))
+	w(float64(r.SanitizedSamples))
+	w(float64(r.RescaledIntervals))
+	for _, c := range r.DeadCores {
+		w(float64(c))
+	}
+	return h.Sum64()
+}
+
+// goldenCase is one pinned (policy, budget, fault, guard, thermal) run.
+type goldenCase struct {
+	name string
+	opt  func() Options
+	want uint64
+}
+
+// goldenThermal builds a fresh governor per run (the state mutates).
+func goldenThermal() *thermal.Governor {
+	st, err := thermal.NewState(thermal.Params{RthCPerW: 2.5, CthJPerC: 8e-4, AmbientC: 45, LimitC: 85}, 4)
+	if err != nil {
+		panic(err)
+	}
+	return thermal.NewGovernor(st, 500*time.Microsecond)
+}
+
+// goldenCases pins the trace-based control loop across every feature axis the
+// engine refactor touches: plain policies, fault injection, the guarded
+// manager, budget spikes, thermal governing and thermal-sensor death. The
+// fingerprints were captured on the pre-engine monolithic cmpsim.Run; the
+// engine-backed loop must reproduce them bit for bit.
+var goldenCases = []goldenCase{
+	{
+		name: "maxbips-70W",
+		opt: func() Options {
+			return Options{Budget: FixedBudget(70), Policy: core.MaxBIPS{}, Horizon: 8 * time.Millisecond}
+		},
+	},
+	{
+		name: "priority-55W",
+		opt: func() Options {
+			return Options{Budget: FixedBudget(55), Policy: core.Priority{}, Horizon: 8 * time.Millisecond}
+		},
+	},
+	{
+		name: "greedy-step-budget",
+		opt: func() Options {
+			return Options{Budget: StepBudget(75, 50, 4*time.Millisecond), Policy: core.GreedyMaxBIPS{}, Horizon: 8 * time.Millisecond}
+		},
+	},
+	{
+		name: "maxbips-noise-unguarded",
+		opt: func() Options {
+			return Options{
+				Budget:  FixedBudget(60),
+				Policy:  core.MaxBIPS{},
+				Fault:   &fault.Scenario{Seed: 7, PowerNoiseSigma: 0.08, InstrNoiseSigma: 0.03, DropProb: 0.05},
+				Horizon: 8 * time.Millisecond,
+			}
+		},
+	},
+	{
+		name: "maxbips-noise-guarded",
+		opt: func() Options {
+			return Options{
+				Budget:  FixedBudget(60),
+				Policy:  core.MaxBIPS{},
+				Fault:   &fault.Scenario{Seed: 7, PowerNoiseSigma: 0.08, InstrNoiseSigma: 0.03, DropProb: 0.05},
+				Guard:   &core.GuardConfig{},
+				Horizon: 8 * time.Millisecond,
+			}
+		},
+	},
+	{
+		name: "greedy-stuck-death-guarded",
+		opt: func() Options {
+			return Options{
+				Budget: FixedBudget(65),
+				Policy: core.GreedyMaxBIPS{},
+				Fault: &fault.Scenario{
+					Seed:   3,
+					Stuck:  []fault.StuckFault{{Core: 0, PowerW: 0.5, At: 2 * time.Millisecond}},
+					Deaths: []fault.CoreDeath{{Core: 2, At: 4 * time.Millisecond}},
+				},
+				Guard:   &core.GuardConfig{},
+				Horizon: 9 * time.Millisecond,
+			}
+		},
+	},
+	{
+		name: "maxbips-spike-thermalfail",
+		opt: func() Options {
+			return Options{
+				Budget: FixedBudget(60),
+				Policy: core.MaxBIPS{},
+				Fault: &fault.Scenario{
+					Spikes:        []fault.BudgetSpike{{At: 2 * time.Millisecond, Duration: time.Millisecond, Scale: 0.5}},
+					ThermalFailAt: 3 * time.Millisecond,
+				},
+				Thermal: goldenThermal(),
+				Horizon: 7 * time.Millisecond,
+			}
+		},
+	},
+	{
+		name: "maxbips-truncated-interval",
+		opt: func() Options {
+			// Horizon cuts the second explore interval at 40%: pins the
+			// truncated-interval sample averaging through the loop.
+			return Options{Budget: FixedBudget(70), Policy: core.MaxBIPS{}, Horizon: 500*time.Microsecond + 4*50*time.Microsecond}
+		},
+	},
+}
+
+var goldenWant = map[string]uint64{
+	"maxbips-70W":                0xe81d07ca3d25fbbd,
+	"priority-55W":               0xaf0b859fd616bc98,
+	"greedy-step-budget":         0x611485a2a450ea9e,
+	"maxbips-noise-unguarded":    0xda0906193b70c44e,
+	"maxbips-noise-guarded":      0xfe96178277767972,
+	"greedy-stuck-death-guarded": 0x46908fad24ae6e4b,
+	"maxbips-spike-thermalfail":  0xa8b4f58c394a9fde,
+	"maxbips-truncated-interval": 0xcd4efa29b57668a3,
+}
+
+// TestGoldenControlLoop pins cmpsim.Run bit-identical across policies,
+// budgets, fault scenarios, the guard and the thermal loop. Captured on the
+// pre-engine tree; the engine-backed Run must not move a single bit. To
+// re-capture after an intentional numerics change:
+//
+//	GOLDEN_CAPTURE=1 go test ./internal/cmpsim -run TestGoldenControlLoop -v
+func TestGoldenControlLoop(t *testing.T) {
+	lib := testLib(t, 4)
+	capture := os.Getenv("GOLDEN_CAPTURE") != ""
+	for _, gc := range goldenCases {
+		res, err := Run(lib, fourWay(), gc.opt())
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		got := goldenFingerprint(res)
+		if capture {
+			fmt.Printf("\t%q: %#x,\n", gc.name, got)
+			continue
+		}
+		if want := goldenWant[gc.name]; got != want {
+			t.Errorf("%s: fingerprint %#x, want %#x — trace-based control loop drifted", gc.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import "gpm/internal/modes"
+
+// Decision is the uniform input of one explore-boundary step of a global
+// manager: everything the sense→predict→decide pipeline hands the manager,
+// whether guarded or not. It exists so callers (internal/engine) drive
+// Manager and ResilientManager through one interface instead of forking on
+// the manager's concrete type.
+type Decision struct {
+	// BudgetW is the chip power budget for the coming interval, after every
+	// upstream middleware stage (budget source, fault spikes, thermal clamp)
+	// has been applied.
+	BudgetW float64
+	// ChipPowerW is the independent chip-level (VRM) power measurement for
+	// the previous interval. Only the guarded manager consults it, for
+	// cross-checking the per-core sensors.
+	ChipPowerW float64
+	// Samples are the per-core observations as reported by the (possibly
+	// faulty) sensors.
+	Samples []Sample
+	// Lookahead, when non-nil, is the oracle probe (§5.6).
+	Lookahead func(c int, m modes.Mode) (powerW, instr float64)
+	// MemBound ranks cores by memory-boundedness (§5.2.2); may be nil.
+	MemBound []float64
+}
+
+// StepDecision applies one decision through the plain manager.
+func (g *Manager) StepDecision(d Decision) modes.Vector {
+	return g.Step(d.BudgetW, d.Samples, d.Lookahead, d.MemBound)
+}
+
+// GuardStats reports the plain manager's guard interventions: none, ever.
+func (g *Manager) GuardStats() (ResilientStats, bool) { return ResilientStats{}, false }
+
+// StepDecision applies one decision through the guarded manager.
+func (r *ResilientManager) StepDecision(d Decision) modes.Vector {
+	return r.Step(d.BudgetW, d.ChipPowerW, d.Samples, d.Lookahead, d.MemBound)
+}
+
+// GuardStats returns the guard's intervention counters.
+func (r *ResilientManager) GuardStats() (ResilientStats, bool) { return r.Stats(), true }

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/fault"
+	"gpm/internal/thermal"
+)
+
+// benchSub builds an n-core synthetic substrate with mildly heterogeneous
+// cores so the manager has real allocation decisions to make.
+func benchSub(b *testing.B, n int) *fakeSub {
+	b.Helper()
+	plan := testPlan(b)
+	baseP := make([]float64, n)
+	rate := make([]float64, n)
+	for c := 0; c < n; c++ {
+		baseP[c] = 18 + float64(c%4)
+		rate[c] = float64(1+c%4) * 1e9
+	}
+	return newFakeSub(plan, baseP, rate, 500e-6)
+}
+
+// benchLoop runs the engine over `horizon` once per iteration and reports
+// per-decision cost. The substrate is rebuilt each iteration (it is stateful),
+// but its construction is trivial next to the decision loop itself.
+func benchLoop(b *testing.B, n int, policy core.Policy, guard *core.GuardConfig, faulted bool, thermally bool) {
+	plan := testPlan(b)
+	pred := core.Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	horizon := 50 * time.Millisecond
+	decisions := int(horizon / (500 * time.Microsecond))
+	budget := 0.75 * 21 * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := Options{
+			Plan:             plan,
+			Budget:           func(time.Duration) float64 { return budget },
+			Decider:          NewDecider(plan, policy, pred, n, guard),
+			DeltaSim:         50 * time.Microsecond,
+			DeltasPerExplore: 10,
+			Horizon:          horizon,
+		}
+		if faulted {
+			inj, err := fault.NewInjector(fault.Scenario{Seed: 7, PowerNoiseSigma: 0.05, DropProb: 0.01}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.Injector = inj
+		}
+		if thermally {
+			st, err := thermal.NewState(thermal.Params{RthCPerW: 0.8, CthJPerC: 0.01, AmbientC: 45, LimitC: 100}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.Thermal = thermal.NewGovernor(st, 500*time.Microsecond)
+		}
+		if _, err := Run(benchSub(b, n), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*decisions), "ns/decision")
+}
+
+// BenchmarkEngine measures the substrate-agnostic control loop: 100 explore
+// decisions (1000 delta intervals) per op on the synthetic substrate, across
+// manager and middleware configurations.
+func BenchmarkEngine(b *testing.B) {
+	b.Run("plain-maxbips-4", func(b *testing.B) {
+		benchLoop(b, 4, core.MaxBIPS{}, nil, false, false)
+	})
+	b.Run("guarded-maxbips-4", func(b *testing.B) {
+		g := core.DefaultGuard()
+		benchLoop(b, 4, core.MaxBIPS{}, &g, false, false)
+	})
+	b.Run("fullchain-maxbips-4", func(b *testing.B) {
+		g := core.DefaultGuard()
+		benchLoop(b, 4, core.MaxBIPS{}, &g, true, true)
+	})
+	b.Run("plain-greedy-16", func(b *testing.B) {
+		benchLoop(b, 16, core.GreedyMaxBIPS{}, nil, false, false)
+	})
+}

@@ -1,0 +1,308 @@
+// Package engine is the substrate-agnostic global power manager control loop
+// — the paper's §2/§5.5 sense → predict → decide → actuate cycle, extracted
+// so the trace-based CMP analysis tool (internal/cmpsim) and the cycle-level
+// full-CMP simulator (internal/fullsim) run the *same* loop instead of two
+// divergent copies.
+//
+// The engine owns everything substrate-independent: explore/delta-sim
+// cadence, the decision middleware chain (budget source → fault-injected
+// budget → thermal clamp → fault-injected observation), the §5.1
+// synchronized-stall charging with worst-case-endpoint stall power, the
+// per-interval sample averaging (including truncated final intervals), the
+// thermal integration, and all accounting (energy, overshoot integrals,
+// guard interventions) in one Result. A Substrate supplies the simulated
+// hardware: bootstrap probe, per-delta advancement split into stall and
+// execution, completion reporting, and mode-power estimates for the stall
+// endpoints. A Decider supplies the manager — plain or resilient — through
+// core.Decision, so no `if guarded` forks survive in the loop.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/fault"
+	"gpm/internal/metrics"
+	"gpm/internal/modes"
+	"gpm/internal/thermal"
+	"gpm/internal/workload"
+)
+
+// Substrate is the simulated hardware under global power management.
+// Implementations are single-run and stateful: the engine advances them
+// monotonically in delta-sim steps.
+type Substrate interface {
+	// NumCores returns the chip width.
+	NumCores() int
+	// Bootstrap probes each core's behaviour over one explore interval with
+	// every core at Turbo and returns the per-core samples the local
+	// monitors would report before the first decision. Whether the probe
+	// consumes simulated time is substrate-defined (the trace players peek
+	// without moving; the cycle-level chip runs a real probe interval).
+	Bootstrap() []core.Sample
+	// ModePowerW estimates core c's average power in mode m at the core's
+	// current program position — the §5.1 worst-case transition endpoints
+	// are charged at max(ModePowerW(old), ModePowerW(new)).
+	ModePowerW(c int, m modes.Mode) float64
+	// DeltaStep advances the live cores by execSec seconds of execution in
+	// vector v — the remainder of the delta interval is synchronized stall,
+	// which the engine charges separately — and fills energyJ/instr with
+	// each core's execution-window energy and committed instructions.
+	// Cores with live[c]==false must not advance and report zero.
+	DeltaStep(v modes.Vector, execSec float64, live []bool, energyJ, instr []float64)
+	// Finished reports that core c's program has completed (§5.1 stops the
+	// run at the first completion).
+	Finished(c int) bool
+	// Lookahead returns the oracle probe (§5.6), or nil if the substrate
+	// cannot see the future (the cycle-level chip cannot).
+	Lookahead() func(c int, m modes.Mode) (powerW, instr float64)
+	// MemBound returns the per-core memory-boundedness ranking, or nil.
+	MemBound() []float64
+}
+
+// Decider is one global power manager: plain (*core.Manager) or guarded
+// (*core.ResilientManager), both satisfy it via core.Decision.
+type Decider interface {
+	// StepDecision performs one explore-boundary decision and returns the
+	// next mode vector.
+	StepDecision(d core.Decision) modes.Vector
+	// Current returns the mode vector currently in force.
+	Current() modes.Vector
+	// GuardStats reports the guard's intervention counters and whether the
+	// decider is guarded at all.
+	GuardStats() (core.ResilientStats, bool)
+}
+
+// Compile-time proof that both managers satisfy Decider.
+var (
+	_ Decider = (*core.Manager)(nil)
+	_ Decider = (*core.ResilientManager)(nil)
+)
+
+// NewDecider builds the manager for n cores: guarded when guard is non-nil,
+// plain otherwise.
+func NewDecider(plan modes.Plan, policy core.Policy, pred core.Predictor, n int, guard *core.GuardConfig) Decider {
+	if guard != nil {
+		return core.NewResilientManager(plan, policy, pred, n, *guard)
+	}
+	return core.NewManager(plan, policy, pred, n)
+}
+
+// Options configures one engine run. Plan, Budget, Decider, DeltaSim,
+// DeltasPerExplore and Horizon are required.
+type Options struct {
+	// Plan is the DVFS mode plan (transition times, frequency scales).
+	Plan modes.Plan
+	// Budget returns the planned chip power budget in watts at time t.
+	Budget func(t time.Duration) float64
+	// Decider is the global manager making explore-boundary decisions.
+	Decider Decider
+	// DeltaSim is the statistics interval; DeltasPerExplore of them form one
+	// explore (decision) interval.
+	DeltaSim         time.Duration
+	DeltasPerExplore int
+	// Horizon bounds the simulated time.
+	Horizon time.Duration
+	// Thermal, when non-nil, closes the temperature loop.
+	Thermal *thermal.Governor
+	// Injector, when non-nil, perturbs the observation path.
+	Injector *fault.Injector
+	// Stages overrides the decision middleware chain; nil selects
+	// DefaultChain(Budget, ErrPrefix, Injector, Thermal).
+	Stages []Stage
+	// ErrPrefix names the front end in engine errors; empty = "engine".
+	ErrPrefix string
+	// Combo and PolicyName annotate the Result.
+	Combo      workload.Combo
+	PolicyName string
+	// Explore is the explore interval for accounting (recovery latency);
+	// zero derives DeltaSim × DeltasPerExplore.
+	Explore time.Duration
+}
+
+// Run executes the global-manager control loop on the substrate until the
+// horizon or the first program completion (§5.1).
+func Run(sub Substrate, opt Options) (*Result, error) {
+	if opt.Decider == nil {
+		return nil, fmt.Errorf("engine: no decider")
+	}
+	if opt.Budget == nil {
+		return nil, fmt.Errorf("engine: no budget function")
+	}
+	if opt.DeltaSim <= 0 || opt.DeltasPerExplore <= 0 {
+		return nil, fmt.Errorf("engine: delta-sim cadence unset (DeltaSim=%v, DeltasPerExplore=%d)", opt.DeltaSim, opt.DeltasPerExplore)
+	}
+	n := sub.NumCores()
+	deltaSec := opt.DeltaSim.Seconds()
+	explore := opt.Explore
+	if explore == 0 {
+		explore = opt.DeltaSim * time.Duration(opt.DeltasPerExplore)
+	}
+	inj := opt.Injector
+	stages := opt.Stages
+	if stages == nil {
+		stages = DefaultChain(opt.Budget, opt.ErrPrefix, inj, opt.Thermal)
+	}
+
+	res := &Result{
+		Combo:          opt.Combo,
+		Policy:         opt.PolicyName,
+		DeltaSim:       opt.DeltaSim,
+		FirstCompleted: -1,
+		PerCoreInstr:   make([]float64, n),
+	}
+
+	// Bootstrap sample: the local monitors report each core's behaviour at
+	// Turbo before the first decision; cores dead at t=0 report nothing.
+	current := modes.Uniform(n, modes.Turbo)
+	samples := sub.Bootstrap()
+	chipMeasured := 0.0 // the independent chip-level (VRM) power sensor
+	for c := range samples {
+		if inj != nil && inj.CoreDead(c, 0) {
+			samples[c] = core.Sample{}
+		}
+		chipMeasured += samples[c].PowerW
+	}
+
+	lookahead := sub.Lookahead()
+	memBound := sub.MemBound()
+	live := make([]bool, n)
+	execE := make([]float64, n)
+	execI := make([]float64, n)
+	intervalPower := make([]float64, n)
+	intervalInstr := make([]float64, n)
+
+	now := time.Duration(0)
+	done := false
+	for now < opt.Horizon && !done {
+		st := Step{Now: now, TrueSamples: samples, Samples: samples, ChipPowerW: chipMeasured}
+		for _, stage := range stages {
+			if err := stage.Apply(&st); err != nil {
+				return nil, err
+			}
+		}
+		budget := st.BudgetW
+		next := opt.Decider.StepDecision(core.Decision{
+			BudgetW:    budget,
+			ChipPowerW: st.ChipPowerW,
+			Samples:    st.Samples,
+			Lookahead:  lookahead,
+			MemBound:   memBound,
+		})
+		stall := opt.Plan.MaxTransitionBetween(current, next)
+		// Per-core stall power: the worst-case endpoint of the transition
+		// (§5.1: execution halts, CPU power is still consumed).
+		stallPower := make([]float64, n)
+		for c := 0; c < n; c++ {
+			if sub.Finished(c) || (inj != nil && inj.CoreDead(c, now)) {
+				continue
+			}
+			pOld := sub.ModePowerW(c, current[c])
+			pNew := sub.ModePowerW(c, next[c])
+			if pOld > pNew {
+				stallPower[c] = pOld
+			} else {
+				stallPower[c] = pNew
+			}
+		}
+		current = next
+		res.Modes = append(res.Modes, current.Clone())
+		res.TransitionStall += stall
+
+		stallLeft := stall.Seconds()
+		for c := 0; c < n; c++ {
+			intervalPower[c] = 0
+			intervalInstr[c] = 0
+		}
+		simmed := 0 // deltas actually simulated; < DeltasPerExplore when truncated
+		for d := 0; d < opt.DeltasPerExplore && now < opt.Horizon; d++ {
+			simmed++
+			rowP := make([]float64, n)
+			rowI := make([]float64, n)
+			var chip float64
+			stl := stallLeft
+			if stl > deltaSec {
+				stl = deltaSec
+			}
+			stallLeft -= stl
+			exec := deltaSec - stl
+			for c := 0; c < n; c++ {
+				live[c] = !sub.Finished(c) && (inj == nil || !inj.CoreDead(c, now))
+				execE[c], execI[c] = 0, 0
+			}
+			if exec > 0 {
+				sub.DeltaStep(current, exec, live, execE, execI)
+			}
+			for c := 0; c < n; c++ {
+				var e, in float64
+				if live[c] {
+					e = stallPower[c] * stl
+					if exec > 0 {
+						e += execE[c]
+						in = execI[c]
+					}
+				}
+				rowP[c] = e / deltaSec
+				rowI[c] = in
+				chip += rowP[c]
+				intervalPower[c] += rowP[c]
+				intervalInstr[c] += in
+				res.PerCoreInstr[c] += in
+				res.TotalInstr += in
+				res.EnergyJ += e
+			}
+			if opt.Thermal != nil {
+				opt.Thermal.State().Step(rowP, opt.DeltaSim)
+				res.MaxTempC = append(res.MaxTempC, opt.Thermal.State().MaxTemp())
+			}
+			res.CorePowerW = append(res.CorePowerW, rowP)
+			res.CoreInstr = append(res.CoreInstr, rowI)
+			res.ChipPowerW = append(res.ChipPowerW, chip)
+			res.BudgetW = append(res.BudgetW, budget)
+			if chip > budget*(1+1e-9) {
+				res.OvershootIntervals++
+			}
+			now += opt.DeltaSim
+			// §5.1 termination: stop when the first benchmark completes.
+			for c := 0; c < n; c++ {
+				if sub.Finished(c) {
+					res.FirstCompleted = c
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+		// Samples for the next decision: averages over the explore interval.
+		// A truncated interval (horizon hit or first-completion exit) must
+		// average over the deltas actually simulated, not the nominal count.
+		den := float64(simmed)
+		if den == 0 {
+			den = 1
+		}
+		chipMeasured = 0
+		for c := 0; c < n; c++ {
+			samples[c] = core.Sample{
+				PowerW: intervalPower[c] / den,
+				Instr:  intervalInstr[c],
+				Done:   sub.Finished(c),
+			}
+			chipMeasured += samples[c].PowerW
+		}
+	}
+	res.Elapsed = now
+	res.FinalSamples = append([]core.Sample(nil), samples...)
+	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, deltaSec)
+	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, deltaSec)
+	if st, guarded := opt.Decider.GuardStats(); guarded {
+		res.EmergencyEntries = st.EmergencyEntries
+		res.EmergencyIntervals = st.EmergencyIntervals
+		res.RecoveryLatency = time.Duration(st.LongestEmergency) * explore
+		res.DeadCores = st.DeadCores
+		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
+		res.RescaledIntervals = st.RescaledIntervals
+	}
+	return res, nil
+}

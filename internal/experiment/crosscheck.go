@@ -63,7 +63,10 @@ func (e *Env) CrossCheck(combo workload.Combo, budgetFrac float64, intervals int
 	if err != nil {
 		return nil, err
 	}
-	fullBase := chip.RunManaged(core.Fixed{Vector: chip.Vector()}, 1e12, intervals)
+	fullBase, err := chip.RunManaged(core.Fixed{Vector: chip.Vector()}, 1e12, intervals)
+	if err != nil {
+		return nil, err
+	}
 
 	for _, pol := range policies {
 		res, _, err := e.RunPolicy(combo, pol, budgetFrac)
@@ -74,7 +77,10 @@ func (e *Env) CrossCheck(combo workload.Combo, budgetFrac float64, intervals int
 		if err != nil {
 			return nil, err
 		}
-		full := chip.RunManaged(pol, budgetW, intervals)
+		full, err := chip.RunManaged(pol, budgetW, intervals)
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, CrossCheckRow{
 			Policy:   pol.Name(),
 			TraceDeg: metrics.Degradation(res.TotalInstr, base.TotalInstr),

@@ -13,13 +13,17 @@ package fullsim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"gpm/internal/bpred"
 	"gpm/internal/cache"
 	"gpm/internal/config"
 	"gpm/internal/core"
+	"gpm/internal/engine"
+	"gpm/internal/fault"
 	"gpm/internal/modes"
 	"gpm/internal/power"
+	"gpm/internal/thermal"
 	"gpm/internal/uarch"
 	"gpm/internal/workload"
 )
@@ -40,12 +44,13 @@ type Chip struct {
 	model power.Model
 	plan  modes.Plan
 
-	l2      *cache.SharedL2
-	cores   []*uarch.Core
-	gens    []*workload.Generator
-	hiers   []*cache.Hierarchy
-	fscales []float64
-	vector  modes.Vector
+	l2         *cache.SharedL2
+	cores      []*uarch.Core
+	gens       []*workload.Generator
+	hiers      []*cache.Hierarchy
+	fscales    []float64
+	vector     modes.Vector
+	benchmarks []string
 
 	// globalNow is the frontier of simulated global time (nominal cycles).
 	globalNow uint64
@@ -68,13 +73,14 @@ func New(cfg config.Config, model power.Model, plan modes.Plan, benchmarks []str
 		return nil, fmt.Errorf("fullsim: %d modes for %d cores", len(v), n)
 	}
 	ch := &Chip{
-		cfg:     cfg,
-		model:   model,
-		plan:    plan,
-		l2:      cache.NewSharedL2(cfg.Mem.L2, cfg.Mem.L2Banks, cfg.Mem.L2BusCyclesPerAccess),
-		fscales: make([]float64, n),
-		vector:  v.Clone(),
-		alive:   make([]bool, n),
+		cfg:        cfg,
+		model:      model,
+		plan:       plan,
+		l2:         cache.NewSharedL2(cfg.Mem.L2, cfg.Mem.L2Banks, cfg.Mem.L2BusCyclesPerAccess),
+		fscales:    make([]float64, n),
+		vector:     v.Clone(),
+		alive:      make([]bool, n),
+		benchmarks: append([]string(nil), benchmarks...),
 	}
 	for i, name := range benchmarks {
 		spec, err := workload.Lookup(name)
@@ -211,68 +217,166 @@ func (ch *Chip) CorePowerW(i int, a power.Activity) float64 {
 // L2 exposes the shared L2 for contention statistics.
 func (ch *Chip) L2() *cache.SharedL2 { return ch.l2 }
 
-// ManagedResult summarizes a RunManaged execution.
-type ManagedResult struct {
-	// ChipPowerW[k] is average chip power over explore interval k.
-	ChipPowerW []float64
-	// Modes[k] is the vector in force during interval k.
-	Modes []modes.Vector
-	// TotalInstr is aggregate committed instructions.
-	TotalInstr float64
-	// PerCoreInstr splits TotalInstr.
-	PerCoreInstr []float64
+// Park permanently idles core i: it stops advancing and consumes no further
+// simulated time. The engine parks cores the fault injector declares dead so
+// the simulated physics match what the (guarded) manager believes.
+func (ch *Chip) Park(i int) { ch.alive[i] = false }
+
+// substrate adapts the cycle-level chip to the engine's Substrate interface.
+// Unlike the trace players it cannot peek at alternate futures, so
+// ModePowerW estimates a mode's power by rescaling the core's last measured
+// draw with the analytical DVFS scale law — exactly the §5.5 prediction the
+// manager itself uses.
+type substrate struct {
+	ch     *Chip
+	freqHz float64
+	// exploreGlobal is the bootstrap probe length in global cycles.
+	exploreGlobal uint64
+	// lastP[c] is core c's last measured power, at the mode it was measured
+	// in; parked[c] marks cores the engine declared dead (as opposed to
+	// cores whose instruction stream ended, which §5.1 treats as completed).
+	lastP  []float64
+	parked []bool
 }
 
-// RunManaged runs the chip under a global power manager for `intervals`
-// explore intervals with the given budget, switching per-core DVFS between
-// intervals (transition stalls are charged as lost global time at the start
-// of each interval, all cores synchronized, §5.1).
-func (ch *Chip) RunManaged(policy core.Policy, budgetW float64, intervals int) *ManagedResult {
+func newSubstrate(ch *Chip) *substrate {
+	return &substrate{
+		ch:            ch,
+		freqHz:        ch.cfg.Chip.NominalFreqHz,
+		exploreGlobal: uint64(ch.cfg.Sim.Explore.Seconds() * ch.cfg.Chip.NominalFreqHz),
+		lastP:         make([]float64, ch.NumCores()),
+		parked:        make([]bool, ch.NumCores()),
+	}
+}
+
+func (s *substrate) NumCores() int { return s.ch.NumCores() }
+
+func (s *substrate) Bootstrap() []core.Sample {
+	acts := s.ch.Measure(s.exploreGlobal)
+	out := make([]core.Sample, len(acts))
+	for i, a := range acts {
+		p := s.ch.CorePowerW(i, a)
+		s.lastP[i] = p
+		out[i] = core.Sample{PowerW: p, Instr: float64(a.Committed)}
+	}
+	return out
+}
+
+func (s *substrate) ModePowerW(c int, m modes.Mode) float64 {
+	cur := s.ch.vector[c]
+	if m == cur {
+		return s.lastP[c]
+	}
+	ref := s.ch.model.ScaleLaw(s.ch.plan, cur)
+	if ref <= 0 {
+		return s.lastP[c]
+	}
+	return s.lastP[c] * s.ch.model.ScaleLaw(s.ch.plan, m) / ref
+}
+
+func (s *substrate) DeltaStep(v modes.Vector, execSec float64, live []bool, energyJ, instr []float64) {
+	s.ch.SetVector(v)
+	for c := range live {
+		if !live[c] && !s.parked[c] && s.ch.alive[c] {
+			s.ch.Park(c)
+			s.parked[c] = true
+		}
+	}
+	// Rounding global cycles per delta (rather than per explore interval)
+	// accumulates a sub-cycle truncation per delta; see EXPERIMENTS.md.
+	acts := s.ch.Measure(uint64(math.Round(execSec * s.freqHz)))
+	for c, a := range acts {
+		if !live[c] {
+			continue
+		}
+		p := s.ch.CorePowerW(c, a)
+		s.lastP[c] = p
+		energyJ[c] = p * execSec
+		instr[c] = float64(a.Committed)
+	}
+}
+
+func (s *substrate) Finished(c int) bool { return !s.ch.alive[c] && !s.parked[c] }
+
+// Lookahead returns nil: the cycle-level chip cannot probe alternate futures.
+func (s *substrate) Lookahead() func(c int, m modes.Mode) (float64, float64) { return nil }
+
+func (s *substrate) MemBound() []float64 { return nil }
+
+// ManagedOptions configures a managed cycle-level run. Policy and Intervals
+// are required; exactly one of Budget and BudgetW must be set.
+type ManagedOptions struct {
+	// Policy decides mode vectors at explore boundaries.
+	Policy core.Policy
+	// Budget is the chip power budget at simulated time t; when nil, the
+	// constant BudgetW is used.
+	Budget  func(t time.Duration) float64
+	BudgetW float64
+	// Intervals is the number of explore intervals to simulate.
+	Intervals int
+	// Thermal, Fault and Guard mirror cmpsim.Options: thermal governor in
+	// the clamp stage, deterministic fault injection on the observation
+	// path, and the resilient manager in place of the plain one.
+	Thermal *thermal.Governor
+	Fault   *fault.Scenario
+	Guard   *core.GuardConfig
+}
+
+// Managed runs the chip under the engine's global-manager control loop —
+// the same loop, middleware chain and accounting as cmpsim.Run — for
+// opt.Intervals explore intervals. The chip is forced to all-Turbo for the
+// bootstrap probe; transition stalls are charged at the §5.1 worst-case
+// endpoint power over the stall window, with execution advancing only
+// through the remainder of each delta interval.
+func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
+	if opt.Policy == nil {
+		return nil, fmt.Errorf("fullsim: no policy")
+	}
+	if opt.Intervals <= 0 {
+		return nil, fmt.Errorf("fullsim: intervals must be positive, got %d", opt.Intervals)
+	}
+	budget := opt.Budget
+	if budget == nil {
+		w := opt.BudgetW
+		budget = func(time.Duration) float64 { return w }
+	}
 	n := ch.NumCores()
+	var inj *fault.Injector
+	if opt.Fault != nil && opt.Fault.Enabled() {
+		var err error
+		inj, err = fault.NewInjector(*opt.Fault, n)
+		if err != nil {
+			return nil, err
+		}
+	}
 	pred := core.Predictor{
 		Plan:              ch.plan,
 		PowerScale:        func(m modes.Mode) float64 { return ch.model.ScaleLaw(ch.plan, m) },
 		ExploreSeconds:    ch.cfg.Sim.Explore.Seconds(),
 		DerateTransitions: true,
 	}
-	mgr := core.NewManager(ch.plan, policy, pred, n)
-	exploreGlobal := uint64(ch.cfg.Sim.Explore.Seconds() * ch.cfg.Chip.NominalFreqHz)
+	ch.SetVector(modes.Uniform(n, modes.Turbo))
+	return engine.Run(newSubstrate(ch), engine.Options{
+		Plan:             ch.plan,
+		Budget:           budget,
+		Decider:          engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard),
+		DeltaSim:         ch.cfg.Sim.DeltaSim,
+		DeltasPerExplore: ch.cfg.DeltaPerExplore(),
+		Explore:          ch.cfg.Sim.Explore,
+		Horizon:          ch.cfg.Sim.Explore * time.Duration(opt.Intervals),
+		Thermal:          opt.Thermal,
+		Injector:         inj,
+		ErrPrefix:        "fullsim",
+		Combo:            workload.Combo{ID: "fullsim", Benchmarks: ch.benchmarks},
+		PolicyName:       opt.Policy.Name(),
+	})
+}
 
-	res := &ManagedResult{PerCoreInstr: make([]float64, n)}
-
-	// Bootstrap sample from a Turbo probe interval.
-	acts := ch.Measure(exploreGlobal)
-	samples := make([]core.Sample, n)
-	for i, a := range acts {
-		samples[i] = core.Sample{PowerW: ch.CorePowerW(i, a), Instr: float64(a.Committed)}
-	}
-
-	for k := 0; k < intervals; k++ {
-		next := mgr.Step(budgetW, samples, nil, nil)
-		stall := ch.plan.MaxTransitionBetween(ch.vector, next)
-		ch.SetVector(next)
-		res.Modes = append(res.Modes, next.Clone())
-
-		// Execution window shrinks by the synchronized stall; stall power is
-		// charged at the new mode's level via the measured activity below
-		// (conservative: activity-based power over the shortened window).
-		stallGlobal := uint64(stall.Seconds() * ch.cfg.Chip.NominalFreqHz)
-		execGlobal := exploreGlobal
-		if stallGlobal < execGlobal {
-			execGlobal -= stallGlobal
-		} else {
-			execGlobal = 0
-		}
-		var chipP float64
-		acts = ch.Measure(execGlobal)
-		for i, a := range acts {
-			p := ch.CorePowerW(i, a)
-			chipP += p
-			res.PerCoreInstr[i] += float64(a.Committed)
-			res.TotalInstr += float64(a.Committed)
-			samples[i] = core.Sample{PowerW: p, Instr: float64(a.Committed)}
-		}
-		res.ChipPowerW = append(res.ChipPowerW, chipP)
-	}
-	return res
+// RunManaged runs the chip under a global power manager for `intervals`
+// explore intervals at a constant budget — a thin adapter over Managed for
+// the common unfaulted case. The Result's ChipPowerW series is at delta-sim
+// resolution; use Result.ExploreChipPowerW(cfg.DeltaPerExplore()) for
+// per-explore-interval averages.
+func (ch *Chip) RunManaged(policy core.Policy, budgetW float64, intervals int) (*engine.Result, error) {
+	return ch.Managed(ManagedOptions{Policy: policy, BudgetW: budgetW, Intervals: intervals})
 }

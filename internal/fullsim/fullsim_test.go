@@ -2,9 +2,11 @@ package fullsim
 
 import (
 	"testing"
+	"time"
 
 	"gpm/internal/config"
 	"gpm/internal/core"
+	"gpm/internal/fault"
 	"gpm/internal/modes"
 	"gpm/internal/power"
 )
@@ -105,12 +107,16 @@ func TestRunManagedMeetsBudget(t *testing.T) {
 		full += ch.CorePowerW(i, a)
 	}
 	budget := 0.8 * full
-	res := ch.RunManaged(core.MaxBIPS{}, budget, 12)
-	if len(res.ChipPowerW) != 12 {
-		t.Fatalf("got %d intervals", len(res.ChipPowerW))
+	res, err := ch.RunManaged(core.MaxBIPS{}, budget, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perExplore := res.ExploreChipPowerW(ch.cfg.DeltaPerExplore())
+	if len(perExplore) != 12 {
+		t.Fatalf("got %d intervals", len(perExplore))
 	}
 	over := 0
-	for _, p := range res.ChipPowerW[1:] { // first interval may correct a bootstrap overshoot
+	for _, p := range perExplore[1:] { // first interval may correct a bootstrap overshoot
 		if p > budget*1.05 {
 			over++
 		}
@@ -132,5 +138,49 @@ func TestRunManagedMeetsBudget(t *testing.T) {
 	}
 	if !sawNonTurbo {
 		t.Error("manager never changed modes under a tight budget")
+	}
+}
+
+// TestManagedGuardedCoreDeath drives the cycle-level chip through the
+// engine with fault injection and the resilient manager: a core that dies
+// mid-run must be detected and parked by the guard, visibly in the Result,
+// and the simulated physics must stop charging the dead core.
+func TestManagedGuardedCoreDeath(t *testing.T) {
+	ch := setup(t, []string{"crafty", "mcf", "gcc", "art"}, nil)
+	ch.Warm(5000)
+	explore := ch.cfg.Sim.Explore
+	deathAt := 2 * explore
+	res, err := ch.Managed(ManagedOptions{
+		Policy:    core.MaxBIPS{},
+		BudgetW:   1e12, // unconstrained: isolate the death handling
+		Intervals: 12,
+		Fault:     &fault.Scenario{Deaths: []fault.CoreDeath{{Core: 1, At: deathAt}}},
+		Guard:     &core.GuardConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeadCores) != 1 || res.DeadCores[0] != 1 {
+		t.Errorf("guard parked cores %v, want [1]", res.DeadCores)
+	}
+	// Physics: the dead core must commit nothing and draw nothing from the
+	// first delta interval at/after the death time.
+	deadFrom := int(deathAt / res.DeltaSim)
+	var instrAfter, powerAfter float64
+	for i := deadFrom; i < len(res.CoreInstr); i++ {
+		instrAfter += res.CoreInstr[i][1]
+		powerAfter += res.CorePowerW[i][1]
+	}
+	if instrAfter != 0 || powerAfter != 0 {
+		t.Errorf("dead core advanced after death: instr=%v power=%v", instrAfter, powerAfter)
+	}
+	// The survivors must keep running for the full horizon.
+	if res.Elapsed != time.Duration(12)*explore {
+		t.Errorf("run ended at %v, want %v (death must not terminate the run)", res.Elapsed, 12*explore)
+	}
+	for _, c := range []int{0, 2, 3} {
+		if res.PerCoreInstr[c] <= 0 {
+			t.Errorf("surviving core %d committed nothing", c)
+		}
 	}
 }
