@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json golden
+.PHONY: all build vet test race check bench-json golden fuzz
 
 all: check
 
@@ -32,13 +32,24 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024' -benchmem ./internal/solver \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo wrote BENCH_solver.json
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$' -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo wrote BENCH_engine.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineBare|BenchmarkEngineObserved' -benchmem ./internal/engine \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo wrote BENCH_obs.json
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control
-# loop bit-identical, and the cross-substrate test asserts both substrates
-# agree through the shared engine.
+# loop AND its decision traces bit-identical (TestGoldenControlLoop,
+# TestGoldenDecisionTraces, TestGoldenReplayBitIdentical), and the
+# cross-substrate test asserts both substrates agree through the shared
+# engine.
 golden:
-	$(GO) test -count=1 -run 'TestGoldenControlLoop' ./internal/cmpsim
+	$(GO) test -count=1 -run 'TestGolden' ./internal/cmpsim
 	$(GO) test -count=1 -run 'TestRunPolicyGoldenBitIdentical|TestCrossSubstrate' ./internal/experiment
+
+# Short coverage-guided fuzz of the trace codec beyond the checked-in seed
+# corpus (testdata/fuzz/...); the seeds themselves run as part of `make test`.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz 'FuzzRecordRoundTrip' -fuzztime $(FUZZTIME) ./internal/obs

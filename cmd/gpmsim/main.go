@@ -21,19 +21,26 @@
 //	gpmsim -solver bb -combo 8w-mixed -budget 0.75 run  # exact BB-backed MaxBIPS run
 //	gpmsim -solver hier -clusters 16 scaling          # hierarchical solver, 16-core clusters
 //	gpmsim -quick xcheck                              # per-policy cmpsim vs fullsim agreement
+//	gpmsim -trace out.jsonl run                       # record the decision trace (JSONL)
+//	gpmsim replay out.jsonl                           # re-drive the run from its trace
+//	gpmsim -trace pair -quick xcheck                  # also record pair.cmpsim/.fullsim.jsonl
+//	gpmsim tracediff pair.cmpsim.jsonl pair.fullsim.jsonl  # first diverging interval/core/field
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"gpm/internal/cmpsim"
 	"gpm/internal/core"
 	"gpm/internal/experiment"
 	"gpm/internal/fault"
 	"gpm/internal/metrics"
+	"gpm/internal/obs"
 	"gpm/internal/report"
 	"gpm/internal/solver"
 	"gpm/internal/workload"
@@ -51,22 +58,70 @@ var (
 	flagSolver  = flag.String("solver", "", "allocation solver for 'run'/'scaling': exhaustive|dp|bb|hier|greedy (for 'run', overrides -policy with a solver-backed MaxBIPS)")
 	flagCluster = flag.Int("clusters", 0, "hierarchical solver cluster size (0 = default 8)")
 	flagQuantum = flag.Float64("quantum", 0, "DP power quantum in watts (0 = adaptive default)")
+	flagTrace   = flag.String("trace", "", "record the decision trace of 'run' to this JSONL file (for 'xcheck': record a <name>.cmpsim.jsonl/<name>.fullsim.jsonl pair)")
+	flagPprof   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>...")
+		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>... | replay <trace.jsonl> | tracediff <a.jsonl> <b.jsonl>")
 		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience scaling run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	env := buildEnv()
-	for _, cmd := range flag.Args() {
-		if err := dispatch(env, cmd); err != nil {
-			fmt.Fprintf(os.Stderr, "gpmsim %s: %v\n", cmd, err)
+	if *flagPprof != "" {
+		f, err := os.Create(*flagPprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmsim -pprof: %v\n", err)
 			os.Exit(1)
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmsim -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	env := buildEnv()
+	args := flag.Args()
+	ok := true
+	for i := 0; i < len(args); i++ {
+		cmd := args[i]
+		var err error
+		switch cmd {
+		// Trace commands consume file operands from the argument list.
+		case "replay":
+			if i+1 >= len(args) {
+				err = fmt.Errorf("usage: gpmsim replay <trace.jsonl>")
+			} else {
+				err = replayCmd(env, args[i+1])
+				i++
+			}
+		case "tracediff":
+			if i+2 >= len(args) {
+				err = fmt.Errorf("usage: gpmsim tracediff <a.jsonl> <b.jsonl>")
+			} else {
+				err = tracediffCmd(args[i+1], args[i+2])
+				i += 2
+			}
+		default:
+			err = dispatch(env, cmd)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmsim %s: %v\n", cmd, err)
+			ok = false
+			break
+		}
+	}
+	// Flush the profile (deferred) before exiting on error.
+	if !ok {
+		if *flagPprof != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
 	}
 }
 
@@ -346,6 +401,34 @@ func xcheck(env *experiment.Env) error {
 		fmt.Println("policy ranking: substrates DISAGREE")
 	}
 	fmt.Println()
+	if *flagTrace != "" {
+		// Record the first default policy on both substrates and write the
+		// trace pair for `gpmsim tracediff`.
+		pol := experiment.CrossSubstratePolicies()[0]
+		ct, ft, err := env.CrossSubstrateTraced(combo, pol, *flagBudget, intervals)
+		if err != nil {
+			return err
+		}
+		base := strings.TrimSuffix(*flagTrace, ".jsonl")
+		for _, pair := range []struct {
+			path string
+			tr   *obs.Trace
+		}{{base + ".cmpsim.jsonl", ct}, {base + ".fullsim.jsonl", ft}} {
+			f, err := os.Create(pair.path)
+			if err != nil {
+				return err
+			}
+			err = obs.WriteTrace(f, pair.tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d decisions -> %s\n", len(pair.tr.Records), pair.path)
+		}
+		fmt.Fprintf(os.Stderr, "compare with: gpmsim tracediff %s.cmpsim.jsonl %s.fullsim.jsonl\n", base, base)
+	}
 	return nil
 }
 
@@ -455,9 +538,30 @@ func custom(env *experiment.Env) error {
 		g := core.DefaultGuard()
 		guard = &g
 	}
+	var tw *obs.Writer
+	if *flagTrace != "" {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m := env.Manifest("cmpsim", combo, pol.Name(), fmt.Sprintf("frac=%.4f", *flagBudget), *flagFault, guard != nil)
+		tw, err = obs.NewWriter(f, m)
+		if err != nil {
+			return err
+		}
+		env.Observer = tw
+		defer func() { env.Observer = nil }()
+	}
 	res, base, err := env.RunPolicyResilient(combo, pol, *flagBudget, scp, guard)
 	if err != nil {
 		return err
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d decisions -> %s\n", res.Obs.TraceRecords, *flagTrace)
 	}
 	sp, err := metrics.PerThreadSpeedups(res.PerCoreInstr, base.PerCoreInstr)
 	if err != nil {
@@ -483,12 +587,80 @@ func custom(env *experiment.Env) error {
 		t.AddRow("dead cores", fmt.Sprintf("%v", res.DeadCores))
 	}
 	emit(t)
+	emit(obs.CountersTable(res.Obs))
 	if !*flagCSV {
 		ts := report.NewTimeSeries("chip power [W]", "time →", 100)
 		ts.Add("power", res.ChipPowerW)
 		ts.Add("budget", res.BudgetW)
 		fmt.Println(ts.String())
 	}
+	return nil
+}
+
+// replayCmd re-drives a recorded run from its trace: the replay Decider feeds
+// the engine the recorded mode vectors and budgets on a fresh substrate, and
+// the Result fingerprint is checked against the one stamped in the trace
+// footer. Runs recorded with a thermal governor cannot be verified this way
+// (the governor's parameters are not in the trace).
+func replayCmd(env *experiment.Env, path string) error {
+	tr, err := obs.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	m := tr.Manifest
+	combo, err := workload.FindCombo(m.ComboID)
+	if err != nil {
+		return fmt.Errorf("trace combo: %w", err)
+	}
+	// Fault scenario and horizon default from the manifest inside cmpsim.Run.
+	res, err := cmpsim.Run(env.Lib, combo, cmpsim.Options{Replay: tr})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Replay: %s on %s (%s, %d recorded decisions)",
+		tr.PolicyName(), m.ComboID, m.Substrate, len(tr.Records)),
+		"metric", "value")
+	t.AddRow("total instructions", fmt.Sprintf("%.4g", res.TotalInstr))
+	t.AddRow("avg chip power", report.W(res.AvgChipPowerW()))
+	t.AddRow("energy", fmt.Sprintf("%.4g J", res.EnergyJ))
+	t.AddRow("transition stall", res.TransitionStall.String())
+	got := fmt.Sprintf("%016x", obs.ResultFingerprint(res))
+	t.AddRow("replayed fingerprint", got)
+	if tr.Footer != nil {
+		t.AddRow("recorded fingerprint", tr.Footer.Fingerprint)
+	}
+	emit(t)
+	switch {
+	case tr.Footer == nil:
+		fmt.Println("replay: trace has no footer; nothing to verify against")
+	case got == tr.Footer.Fingerprint:
+		fmt.Println("replay: bit-identical to the recorded run")
+	default:
+		fmt.Println("replay: DIVERGED from the recorded run (thermal-governed traces cannot be re-verified)")
+	}
+	fmt.Println()
+	return nil
+}
+
+// tracediffCmd structurally compares two decision traces and names the first
+// diverging interval, core and field — e.g. a cmpsim-vs-fullsim pair recorded
+// by `gpmsim -trace <name> xcheck`.
+func tracediffCmd(pathA, pathB string) error {
+	a, err := obs.ReadTraceFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := obs.ReadTraceFile(pathB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A: %s (%s, %d records)\nB: %s (%s, %d records)\n",
+		pathA, a.Manifest.Substrate, len(a.Records), pathB, b.Manifest.Substrate, len(b.Records))
+	if d := obs.Diff(a, b); d != nil {
+		fmt.Println(d)
+		return nil
+	}
+	fmt.Println("traces are structurally identical")
 	return nil
 }
 

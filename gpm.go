@@ -22,14 +22,18 @@
 package gpm
 
 import (
+	"fmt"
+	"io"
 	"time"
 
 	"gpm/internal/cmpsim"
 	"gpm/internal/core"
+	"gpm/internal/engine"
 	"gpm/internal/experiment"
 	"gpm/internal/fault"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
+	"gpm/internal/obs"
 	"gpm/internal/solver"
 	"gpm/internal/workload"
 )
@@ -207,6 +211,74 @@ type CrossSubstrateResult = experiment.CrossSubstrateResult
 
 // CrossSubstratePolicies is the default policy set for System.CrossSubstrate.
 func CrossSubstratePolicies() []Policy { return experiment.CrossSubstratePolicies() }
+
+// --- Observability: decision tracing, replay, diff (internal/obs) ----------
+
+// Observer receives one structured record per explore interval from the
+// engine's control loop: observed per-core samples, the candidate and final
+// mode vectors, per-stage budget overrides and decision latency. A nil
+// Observer costs nothing. Set System.Observer (or cmpsim/fullsim options) to
+// attach one.
+type Observer = engine.Observer
+
+// DecisionTrace is the per-interval record an Observer receives.
+type DecisionTrace = engine.DecisionTrace
+
+// ObsCounters is the always-on counter snapshot in every Result: decisions,
+// per-stage overrides, guard emergencies, solver nodes and trace records.
+type ObsCounters = engine.ObsCounters
+
+// TraceManifest identifies a recorded run: substrate, workload, policy and
+// the timing grid a replay must reproduce.
+type TraceManifest = obs.Manifest
+
+// Trace is a decoded decision trace: manifest, records, footer.
+type Trace = obs.Trace
+
+// TraceWriter streams a run's decision trace as versioned JSONL.
+type TraceWriter = obs.Writer
+
+// NewTraceWriter starts a JSONL trace with the given manifest; close it after
+// the run to stamp the footer (record count, fingerprints, counters).
+func NewTraceWriter(w io.Writer, m *TraceManifest) (*TraceWriter, error) { return obs.NewWriter(w, m) }
+
+// TraceCollector buffers a trace in memory (tests, replay without files).
+type TraceCollector = obs.Collector
+
+// NewTraceCollector returns an in-memory Observer; its Trace() is complete
+// after the run.
+func NewTraceCollector(m *TraceManifest) *TraceCollector { return obs.NewCollector(m) }
+
+// ReadTrace decodes a JSONL decision trace; corrupt input yields a typed
+// *obs.DecodeError with a line number, never a panic.
+func ReadTrace(path string) (*Trace, error) { return obs.ReadTraceFile(path) }
+
+// TraceDivergence names the first interval, core and field where two traces
+// disagree (nil = structurally identical).
+type TraceDivergence = obs.Divergence
+
+// DiffTraces structurally compares two decision traces in pipeline order.
+func DiffTraces(a, b *Trace) *TraceDivergence { return obs.Diff(a, b) }
+
+// ResultFingerprint hashes every numeric series and counter of a Result
+// bit-exactly — the golden-test and replay-verification hash.
+func ResultFingerprint(r *Result) uint64 { return obs.ResultFingerprint(r) }
+
+// ReplayResult re-drives a recorded cmpsim run from its trace on a fresh
+// substrate: recorded vectors and budgets replace the policy and budget
+// stages, and the returned Result is bit-identical to the recorded run
+// (verify with ResultFingerprint against the trace footer). Thermal-governed
+// runs need the governor re-supplied via cmpsim options instead.
+func ReplayResult(sys *System, t *Trace) (*Result, error) {
+	if t.Manifest == nil {
+		return nil, fmt.Errorf("gpm: trace has no manifest")
+	}
+	combo, err := workload.FindCombo(t.Manifest.ComboID)
+	if err != nil {
+		return nil, err
+	}
+	return cmpsim.Run(sys.Lib, combo, cmpsim.Options{Replay: t})
+}
 
 // Degradation returns 1 − policy/baseline committed instructions.
 func Degradation(policyInstr, baselineInstr float64) float64 {

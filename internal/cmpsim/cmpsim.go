@@ -19,6 +19,7 @@ import (
 	"gpm/internal/engine"
 	"gpm/internal/fault"
 	"gpm/internal/modes"
+	"gpm/internal/obs"
 	"gpm/internal/solver"
 	"gpm/internal/thermal"
 	"gpm/internal/trace"
@@ -59,6 +60,20 @@ type Options struct {
 	// armed, and dead cores are parked. GuardConfig zero fields select
 	// defaults, so &core.GuardConfig{} is a valid setting.
 	Guard *core.GuardConfig
+	// Observer, when non-nil, receives one structured decision trace per
+	// explore interval and the Result at run end (obs.Writer streams JSONL,
+	// obs.Collector keeps the trace in memory). Nil is the zero-overhead
+	// path.
+	Observer engine.Observer
+	// Replay, when non-nil, re-drives the simulation from a recorded trace:
+	// the recorded mode vectors and budgets replace the policy and the
+	// budget middleware, reproducing the recording run's Result
+	// bit-identically. Policy and Budget become optional; Horizon and Fault
+	// default from the trace manifest when unset, so a trace with a manifest
+	// replays self-contained. Thermal must be re-supplied by the caller when
+	// the recording run had a governor (its parameters are not in the
+	// trace).
+	Replay *obs.Trace
 }
 
 // Result captures a full run at delta-sim resolution. It is the engine's
@@ -139,14 +154,31 @@ func (s *substrate) MemBound() []float64 { return s.memBound }
 func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error) {
 	cfg := lib.Config()
 	plan := lib.Plan()
+	replaying := opt.Replay != nil
 	if opt.Policy == nil && opt.Solver != nil {
 		opt.Policy = core.SolverPolicy{Solver: opt.Solver}
 	}
-	if opt.Policy == nil {
+	if opt.Policy == nil && !replaying {
 		return nil, fmt.Errorf("cmpsim: no policy")
 	}
-	if opt.Budget == nil {
+	if opt.Budget == nil && !replaying {
 		return nil, fmt.Errorf("cmpsim: no budget function")
+	}
+	if replaying {
+		// A manifest makes the trace self-contained: the recording run's
+		// fault scenario and horizon apply unless the caller overrides them.
+		if m := opt.Replay.Manifest; m != nil {
+			if opt.Fault == nil && m.FaultSpec != "" {
+				sc, err := fault.ParseScenario(m.FaultSpec)
+				if err != nil {
+					return nil, fmt.Errorf("cmpsim: replay: manifest fault spec: %w", err)
+				}
+				opt.Fault = &sc
+			}
+			if opt.Horizon == 0 && m.HorizonNs > 0 {
+				opt.Horizon = time.Duration(m.HorizonNs)
+			}
+		}
 	}
 	players, err := lib.Players(combo)
 	if err != nil {
@@ -187,20 +219,39 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 		exploreSec: cfg.Sim.Explore.Seconds(),
 		memBound:   memBound,
 	}
-	return engine.Run(sub, engine.Options{
+	eopt := engine.Options{
 		Plan:             plan,
 		Budget:           opt.Budget,
-		Decider:          engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard),
 		DeltaSim:         cfg.Sim.DeltaSim,
 		DeltasPerExplore: cfg.DeltaPerExplore(),
 		Explore:          cfg.Sim.Explore,
 		Horizon:          horizon,
 		Thermal:          opt.Thermal,
 		Injector:         inj,
+		Observer:         opt.Observer,
 		ErrPrefix:        "cmpsim",
 		Combo:            combo,
-		PolicyName:       opt.Policy.Name(),
-	})
+	}
+	if replaying {
+		dec, err := obs.NewReplayDecider(opt.Replay, cfg.Sim.Explore)
+		if err != nil {
+			return nil, err
+		}
+		eopt.Decider = dec
+		// The recorded budgets already fold the whole budget middleware
+		// (source, fault spikes, thermal clamp); replay them verbatim. The
+		// thermal governor still integrates for the MaxTempC series, and the
+		// injector still kills cores — those are physics, not decisions.
+		eopt.Stages = []engine.Stage{obs.NewReplayBudget(opt.Replay)}
+		if eopt.Budget == nil {
+			eopt.Budget = func(time.Duration) float64 { return 0 } // unused: Stages override the chain
+		}
+		eopt.PolicyName = opt.Replay.PolicyName()
+	} else {
+		eopt.Decider = engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard)
+		eopt.PolicyName = opt.Policy.Name()
+	}
+	return engine.Run(sub, eopt)
 }
 
 // FixedBudget returns a constant budget function.

@@ -2,74 +2,24 @@ package cmpsim
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"os"
 	"testing"
 	"time"
 
 	"gpm/internal/core"
 	"gpm/internal/fault"
+	"gpm/internal/obs"
 	"gpm/internal/thermal"
 )
 
 // goldenFingerprint hashes every numeric series and counter of a Result
 // bit-exactly, including the robustness accounting and the final samples, so
 // any drift in the simulation loop — decision order, stall accounting,
-// truncation handling, guard state machine — changes the hash.
+// truncation handling, guard state machine — changes the hash. The hash now
+// lives in internal/obs (trace footers stamp the same value); the pinned
+// values below predate the move and pin it unchanged.
 func goldenFingerprint(r *Result) uint64 {
-	h := fnv.New64a()
-	w := func(f float64) {
-		var b [8]byte
-		u := math.Float64bits(f)
-		for i := 0; i < 8; i++ {
-			b[i] = byte(u >> (8 * i))
-		}
-		h.Write(b[:])
-	}
-	for i := range r.ChipPowerW {
-		w(r.ChipPowerW[i])
-		w(r.BudgetW[i])
-		for c := range r.CorePowerW[i] {
-			w(r.CorePowerW[i][c])
-			w(r.CoreInstr[i][c])
-		}
-	}
-	for _, v := range r.Modes {
-		for _, m := range v {
-			w(float64(m))
-		}
-	}
-	for _, tc := range r.MaxTempC {
-		w(tc)
-	}
-	for c := range r.PerCoreInstr {
-		w(r.PerCoreInstr[c])
-		w(r.FinalSamples[c].PowerW)
-		w(r.FinalSamples[c].Instr)
-		if r.FinalSamples[c].Done {
-			w(1)
-		} else {
-			w(0)
-		}
-	}
-	w(r.TotalInstr)
-	w(r.EnergyJ)
-	w(float64(r.Elapsed))
-	w(float64(r.TransitionStall))
-	w(float64(r.FirstCompleted))
-	w(float64(r.OvershootIntervals))
-	w(r.OvershootEnergyWs)
-	w(r.WorstOvershootWs)
-	w(float64(r.EmergencyEntries))
-	w(float64(r.EmergencyIntervals))
-	w(float64(r.RecoveryLatency))
-	w(float64(r.SanitizedSamples))
-	w(float64(r.RescaledIntervals))
-	for _, c := range r.DeadCores {
-		w(float64(c))
-	}
-	return h.Sum64()
+	return obs.ResultFingerprint(r)
 }
 
 // goldenCase is one pinned (policy, budget, fault, guard, thermal) run.
@@ -208,6 +158,88 @@ func TestGoldenControlLoop(t *testing.T) {
 		}
 		if want := goldenWant[gc.name]; got != want {
 			t.Errorf("%s: fingerprint %#x, want %#x — trace-based control loop drifted", gc.name, got, want)
+		}
+	}
+}
+
+// goldenTraceWant pins the decision-trace fingerprints of the golden cases:
+// the deterministic fields of every per-interval record (observed samples,
+// stage budgets and overrides, candidate and final vectors, guard state,
+// stalls). The Result fingerprints above pin the simulated physics; these pin
+// the *decision pipeline's* observable behavior. Re-capture with
+// GOLDEN_CAPTURE=1 after an intentional change.
+var goldenTraceWant = map[string]uint64{
+	"maxbips-70W":                0xabfe811275b37713,
+	"priority-55W":               0x79f12b05c9aa9bb3,
+	"greedy-step-budget":         0x12aceaa5b75bf3fb,
+	"maxbips-noise-unguarded":    0x06e15a683eded04d,
+	"maxbips-noise-guarded":      0x4af8d8da059790d9,
+	"greedy-stuck-death-guarded": 0xcdf4e25bd4ad44e2,
+	"maxbips-spike-thermalfail":  0x8da50c666c0c00a9,
+	"maxbips-truncated-interval": 0x22bb7e11aa030976,
+}
+
+// TestGoldenDecisionTraces runs the golden cases with tracing attached and
+// pins (a) that observing does not move the Result a single bit and (b) the
+// trace fingerprint of each case.
+func TestGoldenDecisionTraces(t *testing.T) {
+	lib := testLib(t, 4)
+	capture := os.Getenv("GOLDEN_CAPTURE") != ""
+	for _, gc := range goldenCases {
+		opt := gc.opt()
+		col := obs.NewCollector(nil)
+		opt.Observer = col
+		res, err := Run(lib, fourWay(), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		if got, want := goldenFingerprint(res), goldenWant[gc.name]; !capture && got != want {
+			t.Errorf("%s: observed run fingerprint %#x, want %#x — tracing changed the simulation", gc.name, got, want)
+		}
+		if res.Obs.TraceRecords != len(col.Trace().Records) || res.Obs.TraceRecords == 0 {
+			t.Errorf("%s: %d trace records collected, counters say %d", gc.name, len(col.Trace().Records), res.Obs.TraceRecords)
+		}
+		got := obs.TraceFingerprint(col.Trace())
+		if capture {
+			fmt.Printf("\t%q: %#x,\n", gc.name, got)
+			continue
+		}
+		if want := goldenTraceWant[gc.name]; got != want {
+			t.Errorf("%s: trace fingerprint %#x, want %#x — decision pipeline drifted", gc.name, got, want)
+		}
+	}
+}
+
+// TestGoldenReplayBitIdentical records each golden case and replays the trace
+// through the replay Decider on a fresh substrate: the replayed Result must
+// reproduce the original bit for bit — recorded vectors and budgets are the
+// only decision inputs the physics ever consumed.
+func TestGoldenReplayBitIdentical(t *testing.T) {
+	lib := testLib(t, 4)
+	for _, gc := range goldenCases {
+		col := obs.NewCollector(nil)
+		opt := gc.opt()
+		opt.Observer = col
+		orig, err := Run(lib, fourWay(), opt)
+		if err != nil {
+			t.Fatalf("%s: record: %v", gc.name, err)
+		}
+		// Fresh per-case options: the recording run consumed the thermal
+		// governor's state, and replay needs the same fault scenario for the
+		// core-death physics (observation noise is irrelevant — decisions
+		// are replayed verbatim).
+		ropt := gc.opt()
+		replayed, err := Run(lib, fourWay(), Options{
+			Replay:  col.Trace(),
+			Fault:   ropt.Fault,
+			Thermal: ropt.Thermal,
+			Horizon: ropt.Horizon,
+		})
+		if err != nil {
+			t.Fatalf("%s: replay: %v", gc.name, err)
+		}
+		if a, b := goldenFingerprint(orig), goldenFingerprint(replayed); a != b {
+			t.Errorf("%s: replay diverged: original %#x, replayed %#x", gc.name, a, b)
 		}
 	}
 }

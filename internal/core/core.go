@@ -160,6 +160,10 @@ type Manager struct {
 	policy    Policy
 	predictor Predictor
 	current   modes.Vector
+	// lastCandidate is the policy's raw output from the most recent Step,
+	// before sanitize (observability only; nil until the first decision and
+	// while an outer guard bypasses the policy).
+	lastCandidate modes.Vector
 }
 
 // NewManager builds a manager for n cores, starting all cores at Turbo.
@@ -197,10 +201,17 @@ func (g *Manager) Step(budgetW float64, samples []Sample, lookahead func(int, mo
 		ExploreSeconds: g.predictor.ExploreSeconds,
 	}
 	next := g.policy.Decide(ctx)
+	g.lastCandidate = next
 	next = g.sanitize(next, samples)
 	g.current = next
 	return next.Clone()
 }
+
+// LastCandidate returns the policy's raw vector from the most recent Step,
+// before sanitization — nil before the first decision or while a guard's
+// emergency throttle bypassed the policy. The returned slice is the policy's
+// own buffer; callers must not mutate it.
+func (g *Manager) LastCandidate() modes.Vector { return g.lastCandidate }
 
 // sanitize clamps a policy result to a legal vector and parks finished cores
 // in the deepest mode.

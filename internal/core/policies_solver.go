@@ -16,6 +16,10 @@ type SolverPolicy struct {
 	Solver solver.Solver
 	// Label overrides the displayed name (default "MaxBIPS[<solver>]").
 	Label string
+	// NodeCount, when non-nil, accumulates the solver's search-node counts
+	// across decisions (observability: engine.Result.Obs.SolverNodes). The
+	// pointer is shared by the value-receiver copies Decide runs on.
+	NodeCount *int64
 }
 
 // Name implements Policy.
@@ -28,11 +32,23 @@ func (p SolverPolicy) Name() string {
 
 // Decide implements Policy.
 func (p SolverPolicy) Decide(ctx Context) modes.Vector {
-	v, _ := p.Solver.Solve(solver.Instance{
+	v, stats := p.Solver.Solve(solver.Instance{
 		Plan:    ctx.Plan,
 		BudgetW: ctx.BudgetW,
 		Power:   ctx.Matrices.Power,
 		Instr:   ctx.Matrices.Instr,
 	})
+	if p.NodeCount != nil {
+		*p.NodeCount += stats.Nodes
+	}
 	return v
+}
+
+// SolveNodes reports the cumulative search nodes visited across decisions,
+// and whether counting is wired (NodeCount non-nil).
+func (p SolverPolicy) SolveNodes() (int64, bool) {
+	if p.NodeCount == nil {
+		return 0, false
+	}
+	return *p.NodeCount, true
 }

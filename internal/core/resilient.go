@@ -202,10 +202,15 @@ func (r *ResilientManager) Step(budgetW, chipPowerW float64, samples []Sample, l
 		// notion of the current vector consistent for the next prediction.
 		deepest := modes.Uniform(len(clean), modes.Mode(r.plan.NumModes()-1))
 		r.inner.SetCurrent(deepest)
+		r.inner.lastCandidate = nil // the policy did not run
 		return deepest
 	}
 	return r.inner.Step(budgetW, clean, lookahead, memBound)
 }
+
+// LastCandidate returns the wrapped policy's raw vector from the most recent
+// decision, or nil while the emergency throttle bypassed the policy.
+func (r *ResilientManager) LastCandidate() modes.Vector { return r.inner.LastCandidate() }
 
 // sanitize repairs the per-core observations and advances the dead-core
 // detector. It never mutates its input.

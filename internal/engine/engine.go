@@ -111,6 +111,11 @@ type Options struct {
 	// Stages overrides the decision middleware chain; nil selects
 	// DefaultChain(Budget, ErrPrefix, Injector, Thermal).
 	Stages []Stage
+	// Observer, when non-nil, receives one structured DecisionTrace per
+	// explore interval and the Result at the end of the run (see
+	// internal/obs for JSONL and in-memory implementations). Nil is the
+	// zero-overhead path: no trace is constructed and no clock is read.
+	Observer Observer
 	// ErrPrefix names the front end in engine errors; empty = "engine".
 	ErrPrefix string
 	// Combo and PolicyName annotate the Result.
@@ -152,6 +157,29 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 		FirstCompleted: -1,
 		PerCoreInstr:   make([]float64, n),
 	}
+	res.Obs.StageOverrides = make([]StageOverride, len(stages))
+	for i, s := range stages {
+		res.Obs.StageOverrides[i].Stage = s.Name()
+	}
+	// Pre-size the delta-resolution series so steady-state intervals append
+	// without reallocating (capped so pathological horizons don't reserve
+	// unbounded memory up front).
+	est := int(opt.Horizon / opt.DeltaSim)
+	if est > 4096 {
+		est = 4096
+	}
+	res.ChipPowerW = make([]float64, 0, est)
+	res.BudgetW = make([]float64, 0, est)
+	res.CorePowerW = make([][]float64, 0, est)
+	res.CoreInstr = make([][]float64, 0, est)
+	res.Modes = make([]modes.Vector, 0, est/opt.DeltasPerExplore+1)
+
+	// Optional decider facets, resolved once so the loop pays only a nil
+	// check per decision.
+	emerg, _ := opt.Decider.(emergencyReporter)
+	cand, _ := opt.Decider.(candidateReporter)
+	obs := opt.Observer
+	var dt DecisionTrace // reused across intervals when observed
 
 	// Bootstrap sample: the local monitors report each core's behaviour at
 	// Turbo before the first decision; cores dead at t=0 report nothing.
@@ -172,17 +200,49 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 	execI := make([]float64, n)
 	intervalPower := make([]float64, n)
 	intervalInstr := make([]float64, n)
+	stallPower := make([]float64, n)
+	var stageTraces []StageTrace
+	if obs != nil {
+		stageTraces = make([]StageTrace, 0, len(stages))
+	}
 
 	now := time.Duration(0)
 	done := false
 	for now < opt.Horizon && !done {
 		st := Step{Now: now, TrueSamples: samples, Samples: samples, ChipPowerW: chipMeasured}
-		for _, stage := range stages {
+		if obs != nil {
+			stageTraces = stageTraces[:0]
+		}
+		for i, stage := range stages {
+			prevB := st.BudgetW
+			prevSamples := st.Samples
+			var t0 time.Time
+			if obs != nil {
+				t0 = time.Now()
+			}
 			if err := stage.Apply(&st); err != nil {
 				return nil, err
 			}
+			// The first stage seeds the budget; later stages that move it,
+			// or that swap the observation, overrode something upstream.
+			override := i > 0 && (st.BudgetW != prevB || !sameSamples(prevSamples, st.Samples))
+			if override {
+				res.Obs.StageOverrides[i].Count++
+			}
+			if obs != nil {
+				stageTraces = append(stageTraces, StageTrace{
+					Name:     res.Obs.StageOverrides[i].Stage,
+					BudgetW:  st.BudgetW,
+					Override: override,
+					DurNs:    time.Since(t0).Nanoseconds(),
+				})
+			}
 		}
 		budget := st.BudgetW
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+		}
 		next := opt.Decider.StepDecision(core.Decision{
 			BudgetW:    budget,
 			ChipPowerW: st.ChipPowerW,
@@ -190,12 +250,19 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 			Lookahead:  lookahead,
 			MemBound:   memBound,
 		})
+		inEmergency := emerg != nil && emerg.InEmergency()
+		if inEmergency {
+			res.Obs.GuardOverrides++
+		}
 		stall := opt.Plan.MaxTransitionBetween(current, next)
 		// Per-core stall power: the worst-case endpoint of the transition
-		// (§5.1: execution halts, CPU power is still consumed).
-		stallPower := make([]float64, n)
+		// (§5.1: execution halts, CPU power is still consumed). Skipped
+		// cores are zeroed explicitly: the buffer is reused across
+		// intervals, and finished/dead states are monotone, so a stale
+		// entry could otherwise never be read — but zero makes that local.
 		for c := 0; c < n; c++ {
 			if sub.Finished(c) || (inj != nil && inj.CoreDead(c, now)) {
+				stallPower[c] = 0
 				continue
 			}
 			pOld := sub.ModePowerW(c, current[c])
@@ -206,6 +273,29 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 				stallPower[c] = pNew
 			}
 		}
+		if obs != nil {
+			dt = DecisionTrace{
+				Interval:       res.Obs.Decisions,
+				Now:            now,
+				BudgetW:        budget,
+				ChipPowerW:     st.ChipPowerW,
+				TrueSamples:    st.TrueSamples,
+				Samples:        st.Samples,
+				Stages:         stageTraces,
+				Final:          next,
+				GuardEmergency: inEmergency,
+				Stall:          stall,
+				DecideNs:       time.Since(t0).Nanoseconds(),
+			}
+			if cand != nil {
+				if raw := cand.LastCandidate(); raw != nil && !raw.Equal(next) {
+					dt.Candidate = raw
+				}
+			}
+			obs.Decision(&dt)
+			res.Obs.TraceRecords++
+		}
+		res.Obs.Decisions++
 		current = next
 		res.Modes = append(res.Modes, current.Clone())
 		res.TransitionStall += stall
@@ -303,6 +393,16 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 		res.DeadCores = st.DeadCores
 		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
 		res.RescaledIntervals = st.RescaledIntervals
+	}
+	if ph, ok := opt.Decider.(policyHolder); ok {
+		if nr, ok := ph.Policy().(nodeReporter); ok {
+			if nodes, counted := nr.SolveNodes(); counted {
+				res.Obs.SolverNodes = nodes
+			}
+		}
+	}
+	if obs != nil {
+		obs.RunEnd(res)
 	}
 	return res, nil
 }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/modes"
+)
+
+// StageTrace is the observed effect of one middleware stage on one decision:
+// the budget left in force after the stage ran, whether the stage overrode
+// anything upstream (lowered/raised the budget or replaced the observed
+// samples), and how long its Apply took. Latencies are wall-clock and
+// therefore excluded from deterministic trace fingerprints.
+type StageTrace struct {
+	Name     string
+	BudgetW  float64
+	Override bool
+	DurNs    int64
+}
+
+// DecisionTrace is the full observable state of one explore-boundary
+// decision: what the manager was shown, what every middleware stage did to
+// it, and what came out. The engine reuses the trace value and the slices it
+// references between intervals — an Observer must copy anything it retains
+// past the Decision call (the internal/obs writers serialize immediately).
+type DecisionTrace struct {
+	// Interval is the explore-interval index, starting at 0.
+	Interval int
+	// Now is the simulated time of the decision.
+	Now time.Duration
+	// BudgetW is the final budget handed to the decider, after every stage.
+	BudgetW float64
+	// ChipPowerW is the independent chip-level (VRM) measurement the guarded
+	// manager cross-checks against.
+	ChipPowerW float64
+	// TrueSamples are the substrate's honest observations; Samples are what
+	// the manager actually saw (identical unless a fault stage intervened).
+	TrueSamples []core.Sample
+	Samples     []core.Sample
+	// Stages records the middleware chain's per-stage budget refinement.
+	Stages []StageTrace
+	// Candidate is the policy's raw pre-sanitize vector when it differs from
+	// Final, nil otherwise (also nil while the guard's emergency throttle
+	// bypasses the policy entirely).
+	Candidate modes.Vector
+	// Final is the mode vector adopted for the coming interval.
+	Final modes.Vector
+	// GuardEmergency reports that the resilient manager's hard-cap throttle
+	// made this decision instead of the policy.
+	GuardEmergency bool
+	// Stall is the synchronized DVFS transition stall charged for the switch.
+	Stall time.Duration
+	// DecideNs is the wall-clock latency of the decider's StepDecision.
+	DecideNs int64
+}
+
+// Observer receives one DecisionTrace per explore interval and the completed
+// Result when the run ends. A nil Observer in Options is the zero-overhead
+// path: the engine never constructs a DecisionTrace and never reads the
+// clock. Implementations live in internal/obs (JSONL writer, in-memory
+// collector).
+type Observer interface {
+	// Decision is called once per explore-boundary decision, after the
+	// middleware chain and the decider have run but before the interval is
+	// simulated. The trace and its slices are only valid during the call.
+	Decision(t *DecisionTrace)
+	// RunEnd is called once with the finished Result before Run returns.
+	RunEnd(r *Result)
+}
+
+// StageOverride counts how many decisions one middleware stage overrode —
+// changed the budget set upstream or replaced the observed samples.
+type StageOverride struct {
+	Stage string
+	Count int
+}
+
+// ObsCounters are the engine's always-on lightweight gauges: they cost a few
+// integer updates per decision whether or not an Observer is attached, and
+// are snapshot into Result for rendering (gpmsim run, internal/report).
+type ObsCounters struct {
+	// Decisions counts explore-boundary decisions taken.
+	Decisions int
+	// StageOverrides counts overrides per middleware stage, in chain order.
+	// The first stage (the budget source) seeds the budget rather than
+	// overriding one and is never counted.
+	StageOverrides []StageOverride
+	// GuardOverrides counts decisions the resilient manager's emergency
+	// throttle made in place of the policy.
+	GuardOverrides int
+	// SolverNodes accumulates allocation-solver search nodes across
+	// decisions, when the policy is solver-backed and counting is wired
+	// (core.SolverPolicy.NodeCount).
+	SolverNodes int64
+	// TraceRecords counts DecisionTraces emitted to the attached Observer
+	// (zero when tracing is off).
+	TraceRecords int
+}
+
+// emergencyReporter is the optional Decider facet the engine polls for the
+// GuardOverrides counter (satisfied by core.ResilientManager).
+type emergencyReporter interface{ InEmergency() bool }
+
+// candidateReporter is the optional Decider facet exposing the policy's raw
+// pre-sanitize vector (satisfied by both managers).
+type candidateReporter interface{ LastCandidate() modes.Vector }
+
+// nodeReporter is the optional Policy facet exposing cumulative solver node
+// counts (satisfied by core.SolverPolicy when NodeCount is wired).
+type nodeReporter interface{ SolveNodes() (int64, bool) }
+
+// policyHolder lets the engine reach the decider's policy for nodeReporter.
+type policyHolder interface{ Policy() core.Policy }
+
+// sameSamples reports whether two sample slices are the same backing array —
+// the cheap "did a stage replace the observation?" test.
+func sameSamples(a, b []core.Sample) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}

@@ -75,6 +75,12 @@ type Result struct {
 	// (possibly truncated) explore interval — what the manager would have
 	// based its next decision on had the run continued.
 	FinalSamples []core.Sample
+
+	// Obs are the engine's always-on observability counters (decisions,
+	// per-stage overrides, guard throttles, solver nodes, trace records).
+	// They are gauges about the run, not part of the simulated physics, and
+	// are excluded from golden Result fingerprints.
+	Obs ObsCounters
 }
 
 // AvgChipPowerW returns the run's average chip power.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"gpm/internal/fullsim"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
+	"gpm/internal/obs"
 	"gpm/internal/workload"
 )
 
@@ -144,6 +146,58 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 	}
 	out.RankAgree = sameRanking(out.Rows)
 	return out, nil
+}
+
+// CrossSubstrateTraced runs one policy at one budget through both substrates
+// with decision tracing attached and returns the two traces. Because both
+// substrates run the identical engine loop, `obs.Diff` on the pair (or
+// `gpmsim tracediff` on the written files) names the first interval, core and
+// field where the trace abstraction makes the manager see a different chip —
+// the §3.1 validation argument at per-decision resolution.
+func (e *Env) CrossSubstrateTraced(combo workload.Combo, pol core.Policy, budgetFrac float64, intervals int) (cmpTrace, fullTrace *obs.Trace, err error) {
+	horizon := e.Cfg.Sim.Explore * time.Duration(intervals)
+	n := combo.Cores()
+
+	traceBase, err := cmpsim.Run(e.Lib, combo, cmpsim.Options{
+		Budget:    cmpsim.Unlimited(),
+		Policy:    core.Fixed{Vector: modes.Uniform(n, modes.Turbo)},
+		Predictor: e.Predictor(),
+		Horizon:   horizon,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	budgetW := budgetFrac * traceBase.EnvelopePowerW()
+	budgetSpec := fmt.Sprintf("fixed=%.6gW", budgetW)
+
+	cmpCol := obs.NewCollector(e.Manifest("cmpsim", combo, pol.Name(), budgetSpec, "", false))
+	cmpCol.Trace().Manifest.HorizonNs = horizon.Nanoseconds()
+	if _, err := cmpsim.Run(e.Lib, combo, cmpsim.Options{
+		Budget:    cmpsim.FixedBudget(budgetW),
+		Policy:    pol,
+		Predictor: e.Predictor(),
+		Horizon:   horizon,
+		Observer:  cmpCol,
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	chip, err := fullsim.New(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	chip.Warm(20_000)
+	fullCol := obs.NewCollector(e.Manifest("fullsim", combo, pol.Name(), budgetSpec, "", false))
+	fullCol.Trace().Manifest.HorizonNs = horizon.Nanoseconds()
+	if _, err := chip.Managed(fullsim.ManagedOptions{
+		Policy:    pol,
+		BudgetW:   budgetW,
+		Intervals: intervals,
+		Observer:  fullCol,
+	}); err != nil {
+		return nil, nil, err
+	}
+	return cmpCol.Trace(), fullCol.Trace(), nil
 }
 
 // sameRanking reports whether sorting the policies by trace degradation and

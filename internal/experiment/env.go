@@ -11,8 +11,10 @@ import (
 	"gpm/internal/cmpsim"
 	"gpm/internal/config"
 	"gpm/internal/core"
+	"gpm/internal/engine"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
+	"gpm/internal/obs"
 	"gpm/internal/power"
 	"gpm/internal/trace"
 	"gpm/internal/workload"
@@ -33,8 +35,34 @@ type Env struct {
 	// Budgets is the sweep used by curve experiments.
 	Budgets []float64
 
+	// Observer, when non-nil, receives the structured decision trace of
+	// single-policy runs driven through RunPolicyResilient (the `gpmsim run`
+	// path). Sweeps and baselines stay unobserved: a sweep would interleave
+	// many runs into one trace, which no replay could make sense of.
+	Observer engine.Observer
+
 	// baselines caches all-Turbo reference runs by combo ID.
 	baselines map[string]*cmpsim.Result
+}
+
+// Manifest describes one observed run for a trace header: substrate identity,
+// workload, policy and the timing grid a replay must reproduce.
+func (e *Env) Manifest(substrate string, combo workload.Combo, policy, budgetSpec, faultSpec string, guarded bool) *obs.Manifest {
+	return &obs.Manifest{
+		Tool:             "gpmsim",
+		Substrate:        substrate,
+		ComboID:          combo.ID,
+		Benchmarks:       combo.Benchmarks,
+		Policy:           policy,
+		Cores:            combo.Cores(),
+		DeltaSimNs:       e.Cfg.Sim.DeltaSim.Nanoseconds(),
+		DeltasPerExplore: e.Cfg.DeltaPerExplore(),
+		ExploreNs:        e.Cfg.Sim.Explore.Nanoseconds(),
+		HorizonNs:        e.Cfg.Sim.Horizon.Nanoseconds(),
+		BudgetSpec:       budgetSpec,
+		FaultSpec:        faultSpec,
+		Guarded:          guarded,
+	}
 }
 
 // NewEnv builds the default environment for n cores.

@@ -185,6 +185,7 @@ func (e *Env) RunPolicyResilient(combo workload.Combo, policy core.Policy, budge
 		Horizon:   e.Cfg.Sim.Horizon,
 		Fault:     sc,
 		Guard:     guard,
+		Observer:  e.Observer,
 	})
 	if err != nil {
 		return nil, nil, err

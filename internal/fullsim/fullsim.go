@@ -22,6 +22,7 @@ import (
 	"gpm/internal/engine"
 	"gpm/internal/fault"
 	"gpm/internal/modes"
+	"gpm/internal/obs"
 	"gpm/internal/power"
 	"gpm/internal/thermal"
 	"gpm/internal/uarch"
@@ -320,6 +321,16 @@ type ManagedOptions struct {
 	Thermal *thermal.Governor
 	Fault   *fault.Scenario
 	Guard   *core.GuardConfig
+	// Observer mirrors cmpsim.Options.Observer: one structured decision
+	// trace per explore interval (nil = zero overhead).
+	Observer engine.Observer
+	// Replay mirrors cmpsim.Options.Replay: re-drive the chip from a
+	// recorded trace's vectors and budgets instead of a policy — including a
+	// trace recorded on the *other* substrate, which is how a cmpsim-vs-
+	// fullsim divergence is isolated to physics rather than decisions.
+	// Policy becomes optional; Intervals is still required (the cycle-level
+	// chip has no horizon of its own).
+	Replay *obs.Trace
 }
 
 // Managed runs the chip under the engine's global-manager control loop —
@@ -329,7 +340,8 @@ type ManagedOptions struct {
 // endpoint power over the stall window, with execution advancing only
 // through the remainder of each delta interval.
 func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
-	if opt.Policy == nil {
+	replaying := opt.Replay != nil
+	if opt.Policy == nil && !replaying {
 		return nil, fmt.Errorf("fullsim: no policy")
 	}
 	if opt.Intervals <= 0 {
@@ -356,20 +368,32 @@ func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
 		DerateTransitions: true,
 	}
 	ch.SetVector(modes.Uniform(n, modes.Turbo))
-	return engine.Run(newSubstrate(ch), engine.Options{
+	eopt := engine.Options{
 		Plan:             ch.plan,
 		Budget:           budget,
-		Decider:          engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard),
 		DeltaSim:         ch.cfg.Sim.DeltaSim,
 		DeltasPerExplore: ch.cfg.DeltaPerExplore(),
 		Explore:          ch.cfg.Sim.Explore,
 		Horizon:          ch.cfg.Sim.Explore * time.Duration(opt.Intervals),
 		Thermal:          opt.Thermal,
 		Injector:         inj,
+		Observer:         opt.Observer,
 		ErrPrefix:        "fullsim",
 		Combo:            workload.Combo{ID: "fullsim", Benchmarks: ch.benchmarks},
-		PolicyName:       opt.Policy.Name(),
-	})
+	}
+	if replaying {
+		dec, err := obs.NewReplayDecider(opt.Replay, ch.cfg.Sim.Explore)
+		if err != nil {
+			return nil, err
+		}
+		eopt.Decider = dec
+		eopt.Stages = []engine.Stage{obs.NewReplayBudget(opt.Replay)}
+		eopt.PolicyName = opt.Replay.PolicyName()
+	} else {
+		eopt.Decider = engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard)
+		eopt.PolicyName = opt.Policy.Name()
+	}
+	return engine.Run(newSubstrate(ch), eopt)
 }
 
 // RunManaged runs the chip under a global power manager for `intervals`

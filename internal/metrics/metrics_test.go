@@ -107,6 +107,131 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestEdgeCases pins the behavior of every metric on hostile inputs — zero
+// baselines, NaN/Inf per-core counts, and length mismatches — so downstream
+// report code can rely on it. The contract: guard clauses (zero/negative
+// baselines, empty series) return 0 or error; IEEE-754 specials otherwise
+// propagate through the arithmetic, except where a comparison naturally
+// filters them (NaN overshoot samples contribute nothing; +Inf speedups
+// vanish from the harmonic mean).
+func TestEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	t.Run("degradation", func(t *testing.T) {
+		cases := []struct {
+			name             string
+			policy, baseline float64
+			check            func(float64) bool
+		}{
+			{"nan-policy", nan, 100, math.IsNaN},
+			{"inf-policy", inf, 100, func(x float64) bool { return math.IsInf(x, -1) }},
+			{"inf-baseline", 50, inf, func(x float64) bool { return x == 1 }},
+			{"nan-baseline", 50, nan, math.IsNaN}, // NaN passes the <=0 guard and propagates
+			{"negative-baseline", 50, -1, func(x float64) bool { return x == 0 }},
+		}
+		for _, tc := range cases {
+			if got := Degradation(tc.policy, tc.baseline); !tc.check(got) {
+				t.Errorf("%s: Degradation(%v,%v) = %v", tc.name, tc.policy, tc.baseline, got)
+			}
+		}
+	})
+
+	t.Run("per-thread-speedups", func(t *testing.T) {
+		// NaN/Inf in the policy counts propagate element-wise; only the
+		// baseline guard errors.
+		sp, err := PerThreadSpeedups([]float64{nan, inf, 90}, []float64{100, 100, 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(sp[0]) || !math.IsInf(sp[1], 1) || sp[2] != 0.9 {
+			t.Errorf("speedups %v", sp)
+		}
+		// A NaN baseline fails the <= 0 comparison (NaN compares false), so it
+		// passes the guard and propagates — pinned so a future stricter guard
+		// is a conscious change.
+		sp, err = PerThreadSpeedups([]float64{90}, []float64{nan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(sp[0]) {
+			t.Errorf("NaN baseline speedup %v, want NaN", sp[0])
+		}
+		if _, err := PerThreadSpeedups([]float64{1, 2}, []float64{1}); err == nil {
+			t.Error("length mismatch accepted")
+		}
+		if _, err := PerThreadSpeedups(nil, nil); err != nil {
+			t.Errorf("empty pair should be fine: %v", err)
+		}
+	})
+
+	t.Run("means", func(t *testing.T) {
+		if got := HarmonicMean([]float64{1, nan}); !math.IsNaN(got) {
+			t.Errorf("harmonic mean with NaN = %v, want NaN", got)
+		}
+		// +Inf contributes 1/Inf = 0 to the inverse sum: an infinitely sped-up
+		// thread drops out of the fairness metric instead of dominating it.
+		if got := HarmonicMean([]float64{1, inf}); got != 2 {
+			t.Errorf("harmonic mean {1,Inf} = %v, want 2", got)
+		}
+		if got := HarmonicMean([]float64{1, math.Inf(-1)}); got != 0 {
+			t.Errorf("harmonic mean with -Inf = %v, want 0 (non-positive guard)", got)
+		}
+		if got := ArithmeticMean([]float64{1, nan}); !math.IsNaN(got) {
+			t.Errorf("arithmetic mean with NaN = %v, want NaN", got)
+		}
+		if got := ArithmeticMean([]float64{1, inf}); !math.IsInf(got, 1) {
+			t.Errorf("arithmetic mean with Inf = %v, want +Inf", got)
+		}
+	})
+
+	t.Run("budget-fit", func(t *testing.T) {
+		if got := BudgetFit(nan, 80); !math.IsNaN(got) {
+			t.Errorf("BudgetFit(NaN,80) = %v, want NaN", got)
+		}
+		if got := BudgetFit(50, inf); got != 0 {
+			t.Errorf("BudgetFit(50,Inf) = %v, want 0", got)
+		}
+		// A NaN budget passes the <= 0 guard (NaN compares false) and
+		// propagates — same convention as the NaN-baseline speedup above.
+		if got := BudgetFit(50, nan); !math.IsNaN(got) {
+			t.Errorf("BudgetFit(50,NaN) = %v, want NaN", got)
+		}
+	})
+
+	t.Run("overshoot", func(t *testing.T) {
+		budget := []float64{10, 10, 10}
+		// NaN power samples fail the > 0 comparison and contribute nothing.
+		if got := OvershootEnergyWs([]float64{nan, 12, nan}, budget, 1); got != 2 {
+			t.Errorf("NaN samples: overshoot = %v, want 2", got)
+		}
+		if got := OvershootEnergyWs([]float64{inf, 9, 9}, budget, 1); !math.IsInf(got, 1) {
+			t.Errorf("Inf sample: overshoot = %v, want +Inf", got)
+		}
+		if got := WorstSustainedOvershootWs([]float64{12, nan, 12}, budget, 1); got != 2 {
+			t.Errorf("NaN breaks the sustained run: worst = %v, want 2", got)
+		}
+		// Length mismatch truncates to the shorter series on both variants.
+		if got := WorstSustainedOvershootWs([]float64{12, 12, 12}, budget[:1], 1); got != 2 {
+			t.Errorf("truncated worst = %v, want 2", got)
+		}
+	})
+
+	t.Run("summarize", func(t *testing.T) {
+		// All-NaN series: every comparison is false, so Min/Max keep their
+		// sentinels and Mean/Std are NaN.
+		s := Summarize([]float64{nan, nan})
+		if !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) {
+			t.Errorf("all-NaN min/max = %v/%v", s.Min, s.Max)
+		}
+		if !math.IsNaN(s.Mean) || !math.IsNaN(s.Std) {
+			t.Errorf("all-NaN mean/std = %v/%v", s.Mean, s.Std)
+		}
+		if s.N != 2 {
+			t.Errorf("N = %d", s.N)
+		}
+	})
+}
+
 func TestOvershootEnergyWs(t *testing.T) {
 	power := []float64{10, 12, 9, 15}
 	budget := []float64{10, 10, 10, 10}

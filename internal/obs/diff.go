@@ -1,0 +1,81 @@
+package obs
+
+import "fmt"
+
+// Divergence names the first structural difference between two traces: the
+// explore interval, the core (or -1 for chip-level fields), the field, and
+// both values. It is the answer to "where exactly did cmpsim and fullsim —
+// or two solver backends, or pre- and post-refactor — stop agreeing?".
+type Divergence struct {
+	// Interval is the explore-interval index of the first difference.
+	Interval int
+	// Core is the diverging core, or -1 for a chip-level field.
+	Core int
+	// Field names the diverging record field ("budget_w", "mode", ...).
+	Field string
+	// A and B render the two values.
+	A, B string
+}
+
+func (d *Divergence) String() string {
+	if d.Core >= 0 {
+		return fmt.Sprintf("first divergence at interval %d, core %d, field %s: %s vs %s", d.Interval, d.Core, d.Field, d.A, d.B)
+	}
+	return fmt.Sprintf("first divergence at interval %d, field %s: %s vs %s", d.Interval, d.Field, d.A, d.B)
+}
+
+// Diff structurally compares the deterministic decision fields of two traces
+// and returns the first divergence, or nil when the traces agree on every
+// record. Wall-clock latencies are ignored; field order within a record is
+// chip-level inputs (time, budget, chip power) before per-core observations
+// before the decision itself (mode vector, guard), so the reported field is
+// the earliest *cause* in the decision pipeline, not a downstream symptom.
+func Diff(a, b *Trace) *Divergence {
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	f64 := func(x float64) string { return fmt.Sprintf("%g", x) }
+	for i := 0; i < n; i++ {
+		ra, rb := &a.Records[i], &b.Records[i]
+		iv := ra.Interval
+		if ra.NowNs != rb.NowNs {
+			return &Divergence{Interval: iv, Core: -1, Field: "now_ns", A: fmt.Sprint(ra.NowNs), B: fmt.Sprint(rb.NowNs)}
+		}
+		if ra.BudgetW != rb.BudgetW {
+			return &Divergence{Interval: iv, Core: -1, Field: "budget_w", A: f64(ra.BudgetW), B: f64(rb.BudgetW)}
+		}
+		if ra.ChipPowerW != rb.ChipPowerW {
+			return &Divergence{Interval: iv, Core: -1, Field: "chip_w", A: f64(ra.ChipPowerW), B: f64(rb.ChipPowerW)}
+		}
+		if len(ra.PowerW) != len(rb.PowerW) {
+			return &Divergence{Interval: iv, Core: -1, Field: "cores", A: fmt.Sprint(len(ra.PowerW)), B: fmt.Sprint(len(rb.PowerW))}
+		}
+		for c := range ra.PowerW {
+			if ra.PowerW[c] != rb.PowerW[c] {
+				return &Divergence{Interval: iv, Core: c, Field: "power_w", A: f64(ra.PowerW[c]), B: f64(rb.PowerW[c])}
+			}
+			if ra.Instr[c] != rb.Instr[c] {
+				return &Divergence{Interval: iv, Core: c, Field: "instr", A: f64(ra.Instr[c]), B: f64(rb.Instr[c])}
+			}
+		}
+		if ra.Guard != rb.Guard {
+			return &Divergence{Interval: iv, Core: -1, Field: "guard", A: fmt.Sprint(ra.Guard), B: fmt.Sprint(rb.Guard)}
+		}
+		if len(ra.Vector) != len(rb.Vector) {
+			return &Divergence{Interval: iv, Core: -1, Field: "vector_len", A: fmt.Sprint(len(ra.Vector)), B: fmt.Sprint(len(rb.Vector))}
+		}
+		for c := range ra.Vector {
+			if ra.Vector[c] != rb.Vector[c] {
+				return &Divergence{Interval: iv, Core: c, Field: "mode", A: fmt.Sprint(ra.Vector[c]), B: fmt.Sprint(rb.Vector[c])}
+			}
+		}
+		if ra.StallNs != rb.StallNs {
+			return &Divergence{Interval: iv, Core: -1, Field: "stall_ns", A: fmt.Sprint(ra.StallNs), B: fmt.Sprint(rb.StallNs)}
+		}
+	}
+	if len(a.Records) != len(b.Records) {
+		return &Divergence{Interval: n, Core: -1, Field: "records", A: fmt.Sprint(len(a.Records)), B: fmt.Sprint(len(b.Records))}
+	}
+	return nil
+}

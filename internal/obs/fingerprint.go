@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"hash"
+	"hash/fnv"
+	"math"
+
+	"gpm/internal/engine"
+)
+
+// fpWriter hashes float64s bit-exactly into an FNV-64a stream — the one
+// hashing primitive behind both the Result and trace fingerprints, so the
+// golden tests and the trace footers can never drift apart.
+type fpWriter struct{ h hash.Hash64 }
+
+func newFPWriter() fpWriter { return fpWriter{h: fnv.New64a()} }
+
+func (w fpWriter) f(f float64) {
+	var b [8]byte
+	u := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	w.h.Write(b[:])
+}
+
+func (w fpWriter) sum() uint64 { return w.h.Sum64() }
+
+// ResultFingerprint hashes every numeric series and counter of a Result
+// bit-exactly, including the robustness accounting and the final samples, so
+// any drift in the simulation loop — decision order, stall accounting,
+// truncation handling, guard state machine — changes the hash. This is the
+// golden fingerprint pinned by internal/cmpsim/golden_test.go and stamped
+// into every trace footer. Observability counters (Result.Obs) are gauges
+// about the run, not simulated physics, and are excluded.
+func ResultFingerprint(r *engine.Result) uint64 {
+	w := newFPWriter()
+	for i := range r.ChipPowerW {
+		w.f(r.ChipPowerW[i])
+		w.f(r.BudgetW[i])
+		for c := range r.CorePowerW[i] {
+			w.f(r.CorePowerW[i][c])
+			w.f(r.CoreInstr[i][c])
+		}
+	}
+	for _, v := range r.Modes {
+		for _, m := range v {
+			w.f(float64(m))
+		}
+	}
+	for _, tc := range r.MaxTempC {
+		w.f(tc)
+	}
+	for c := range r.PerCoreInstr {
+		w.f(r.PerCoreInstr[c])
+		w.f(r.FinalSamples[c].PowerW)
+		w.f(r.FinalSamples[c].Instr)
+		if r.FinalSamples[c].Done {
+			w.f(1)
+		} else {
+			w.f(0)
+		}
+	}
+	w.f(r.TotalInstr)
+	w.f(r.EnergyJ)
+	w.f(float64(r.Elapsed))
+	w.f(float64(r.TransitionStall))
+	w.f(float64(r.FirstCompleted))
+	w.f(float64(r.OvershootIntervals))
+	w.f(r.OvershootEnergyWs)
+	w.f(r.WorstOvershootWs)
+	w.f(float64(r.EmergencyEntries))
+	w.f(float64(r.EmergencyIntervals))
+	w.f(float64(r.RecoveryLatency))
+	w.f(float64(r.SanitizedSamples))
+	w.f(float64(r.RescaledIntervals))
+	for _, c := range r.DeadCores {
+		w.f(float64(c))
+	}
+	return w.sum()
+}
+
+// traceHasher incrementally fingerprints the deterministic fields of a
+// record stream. Wall-clock latencies (stage DurNs, DecideNs) are excluded:
+// two runs of the same configuration must produce the same trace
+// fingerprint on any machine.
+type traceHasher struct{ w fpWriter }
+
+func newTraceHasher() traceHasher { return traceHasher{w: newFPWriter()} }
+
+func (t traceHasher) add(r *Record) {
+	w := t.w
+	w.f(float64(r.Interval))
+	w.f(float64(r.NowNs))
+	w.f(r.BudgetW)
+	w.f(r.ChipPowerW)
+	for c := range r.PowerW {
+		w.f(r.PowerW[c])
+		w.f(r.Instr[c])
+	}
+	w.f(float64(len(r.TruePowerW)))
+	for c := range r.TruePowerW {
+		w.f(r.TruePowerW[c])
+		w.f(r.TrueInstr[c])
+	}
+	for _, s := range r.Stages {
+		w.h.Write([]byte(s.Name))
+		w.f(s.BudgetW)
+		if s.Override {
+			w.f(1)
+		} else {
+			w.f(0)
+		}
+	}
+	for _, m := range r.Vector {
+		w.f(float64(m))
+	}
+	w.f(float64(len(r.Candidate)))
+	for _, m := range r.Candidate {
+		w.f(float64(m))
+	}
+	if r.Guard {
+		w.f(1)
+	} else {
+		w.f(0)
+	}
+	w.f(float64(r.StallNs))
+}
+
+func (t traceHasher) sum() uint64 { return t.w.sum() }
+
+// TraceFingerprint hashes the deterministic fields of every decision record
+// in a parsed trace — identical to the trace_fingerprint the Writer stamps
+// into the footer while streaming.
+func TraceFingerprint(t *Trace) uint64 {
+	h := newTraceHasher()
+	for i := range t.Records {
+		h.add(&t.Records[i])
+	}
+	return h.sum()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"gpm/internal/core"
+	"gpm/internal/engine"
+	"gpm/internal/modes"
+)
+
+// FuzzRecordRoundTrip fuzzes the JSONL envelope codec with two contracts:
+//
+//  1. Corrupt input never panics — it returns a *DecodeError (typed, with a
+//     line number).
+//  2. The encoding is canonical: once an accepted input has been re-encoded,
+//     decoding and encoding again is byte-identical (encode ∘ decode is the
+//     identity on the codec's own output).
+//
+// Seeds live in testdata/fuzz/FuzzRecordRoundTrip; run `make fuzz` (or
+// `go test -fuzz=FuzzRecordRoundTrip ./internal/obs`) to explore further.
+func FuzzRecordRoundTrip(f *testing.F) {
+	// One seed per kind, plus structurally hostile inputs.
+	col := NewCollector(testManifest())
+	col.Decision(&engine.DecisionTrace{
+		Interval:   3,
+		Now:        1500 * time.Microsecond,
+		BudgetW:    62.5,
+		ChipPowerW: 64.25,
+		TrueSamples: []core.Sample{
+			{PowerW: 16, Instr: 8e6}, {PowerW: 15.5, Instr: 7e6},
+		},
+		Samples: []core.Sample{
+			{PowerW: 16.2, Instr: 8.1e6}, {PowerW: 15.1, Instr: 6.9e6},
+		},
+		Stages: []engine.StageTrace{
+			{Name: "budget", BudgetW: 70, DurNs: 40},
+			{Name: "fault-observe", BudgetW: 70, Override: true, DurNs: 120},
+		},
+		Candidate:      modes.Vector{0, 1},
+		Final:          modes.Vector{0, 2},
+		GuardEmergency: false,
+		Stall:          10 * time.Microsecond,
+		DecideNs:       900,
+	})
+	var seedBuf bytes.Buffer
+	if err := WriteTrace(&seedBuf, col.Trace()); err != nil {
+		f.Fatal(err)
+	}
+	for _, line := range bytes.Split(seedBuf.Bytes(), []byte("\n")) {
+		if len(line) > 0 {
+			f.Add(append([]byte(nil), line...))
+		}
+	}
+	f.Add([]byte(`{"kind":"footer","footer":{"records":2,"fingerprint":"00","trace_fingerprint":"00","elapsed_ns":1,"total_instr":2,"energy_j":3,"decisions":2}}`))
+	f.Add([]byte(`{"kind":"decision"}`))
+	f.Add([]byte(`{"kind":"telemetry","decision":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"kind":"decision","decision":{"i":-1,"power_w":[1e999],"vector":[9999999999]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLine(data, 1)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		b1, err := MarshalLine(l)
+		if err != nil {
+			t.Fatalf("accepted line does not re-encode: %v", err)
+		}
+		l2, err := ParseLine(bytes.TrimSuffix(b1, []byte("\n")), 1)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, b1)
+		}
+		b2, err := MarshalLine(l2)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encoding not canonical:\n%s\n%s", b1, b2)
+		}
+	})
+}

@@ -98,17 +98,36 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (no escaping is needed for
-// the numeric/identifier content this repository emits).
+// CSV renders the table as RFC-4180 comma-separated values: cells containing
+// commas, double quotes, or line breaks are quoted, with embedded quotes
+// doubled. (Historically unquoted — safe for the purely numeric/identifier
+// content of the paper tables, broken the moment trace-manifest strings like
+// fault specs `seed=7,noise=0.05` land in a cell.)
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
 	return b.String()
+}
+
+// csvCell quotes one CSV cell per RFC 4180 when it contains a comma, a double
+// quote, or a line break; other cells pass through unchanged.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
 
 // Sparkline renders xs as a one-line unicode sparkline scaled to [min,max].

@@ -57,6 +57,46 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+// TestCSVHostileCells pins RFC-4180 quoting: cells containing commas, double
+// quotes, or line breaks must be quoted with embedded quotes doubled, and
+// plain cells must stay unquoted.
+func TestCSVHostileCells(t *testing.T) {
+	cases := []struct {
+		name string
+		cell string
+		want string // the rendered form of the cell in the CSV output
+	}{
+		{"plain", "maxbips", "maxbips"},
+		{"empty", "", ""},
+		{"space", "a b", "a b"},
+		{"comma", "seed=7,noise=0.05", `"seed=7,noise=0.05"`},
+		{"quote", `he said "go"`, `"he said ""go"""`},
+		{"only-quote", `"`, `""""`},
+		{"newline", "line1\nline2", "\"line1\nline2\""},
+		{"carriage-return", "a\rb", "\"a\rb\""},
+		{"crlf", "a\r\nb", "\"a\r\nb\""},
+		{"comma-and-quote", `x,"y"`, `"x,""y"""`},
+		{"semicolon", "a;b", "a;b"}, // not special in RFC 4180
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTable("", "k", "v")
+			tb.AddRow("key", tc.cell)
+			got := tb.CSV()
+			want := "k,v\nkey," + tc.want + "\n"
+			if got != want {
+				t.Errorf("CSV = %q, want %q", got, want)
+			}
+		})
+	}
+	// A hostile header cell is quoted the same way as a data cell.
+	tb := NewTable("", "name", "fault,spec")
+	tb.AddRow("r", "v")
+	if got, want := tb.CSV(), "name,\"fault,spec\"\nr,v\n"; got != want {
+		t.Errorf("hostile header CSV = %q, want %q", got, want)
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if Sparkline(nil) != "" {
 		t.Error("empty sparkline")
