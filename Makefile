@@ -38,6 +38,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineBare|BenchmarkEngineObserved' -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo wrote BENCH_obs.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkFullsim' -benchmem ./internal/fullsim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem ./internal/experiment ) \
+		| $(GO) run ./cmd/benchjson > BENCH_fullsim.json
+	@echo wrote BENCH_fullsim.json
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control
 # loop AND its decision traces bit-identical (TestGoldenControlLoop,

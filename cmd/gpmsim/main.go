@@ -59,6 +59,7 @@ var (
 	flagCluster = flag.Int("clusters", 0, "hierarchical solver cluster size (0 = default 8)")
 	flagQuantum = flag.Float64("quantum", 0, "DP power quantum in watts (0 = adaptive default)")
 	flagTrace   = flag.String("trace", "", "record the decision trace of 'run' to this JSONL file (for 'xcheck': record a <name>.cmpsim.jsonl/<name>.fullsim.jsonl pair)")
+	flagWorkers = flag.Int("workers", 0, "worker-pool size for parallel sweeps and fullsim stepping (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	flagPprof   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
 )
 
@@ -134,6 +135,7 @@ func buildEnv() *experiment.Env {
 	if *flagHorizon > 0 {
 		env = env.ShortHorizon(*flagHorizon)
 	}
+	env.Workers = *flagWorkers
 	return env
 }
 

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 
 	"gpm/internal/config"
 )
@@ -148,8 +149,10 @@ func (c *Cache) MissRate() float64 {
 func (c *Cache) ResetStats() { c.accesses, c.misses, c.writebacks = 0, 0, 0 }
 
 // SharedL2 is the chip-wide unified L2 with optional bank/bus contention
-// modeling. It is not safe for concurrent use; simulators drive all cores
-// from one goroutine (or shard per-chip).
+// modeling. Direct accessors (Access, AccessAt) are not safe for concurrent
+// use; multi-core cycle simulators either drive all cores from one goroutine
+// or step cores concurrently through per-core L2Windows, whose deferred
+// requests are merged by a single goroutine via Commit between windows.
 type SharedL2 struct {
 	c *Cache
 
@@ -161,6 +164,8 @@ type SharedL2 struct {
 
 	contended uint64 // accesses that waited
 	waitTotal uint64 // cycles waited
+
+	commitBuf []L2Req // scratch for Commit's canonical merge
 }
 
 // NewSharedL2 builds the shared L2. banks and busPerAccess come from
@@ -226,13 +231,166 @@ func (s *SharedL2) ResetStats() {
 	s.contended, s.waitTotal = 0, 0
 }
 
+// L2Req is one shared-L2 request deferred during a synchronization window.
+// (Now, Core, Seq) is a total order: Seq is the request's program-order index
+// within its core's window, so no two requests compare equal.
+type L2Req struct {
+	Now   uint64 // global cycle at which the core presented the request
+	Addr  uint64
+	Core  int32
+	Seq   uint32
+	Fetch bool // instruction fetch: fills content but holds no bank/bus slot
+}
+
+// L2Window is one core's private view of the shared L2 for the duration of a
+// synchronization window, enabling deterministic concurrent stepping:
+//
+//   - Hit/miss outcomes come from the shared contents frozen at window start
+//     (Probe, which no one mutates mid-window) plus the blocks this core
+//     itself filled during the window.
+//   - Bank/bus queueing is computed against the occupancy frozen at window
+//     start plus this core's own reservations; other cores' same-window
+//     traffic becomes visible one window later, when Commit merges it.
+//
+// Both depend only on window-start shared state and the owning core's own
+// actions, so a core's timing is independent of how the other cores are
+// scheduled — results are bit-identical for any worker count.
+type L2Window struct {
+	s       *SharedL2
+	core    int32
+	banks   []uint64
+	busFree uint64
+	reqs    []L2Req
+	fills   []uint64 // block numbers this core filled this window
+}
+
+// NewWindow builds core's deferred-request window. Begin must be called
+// before each synchronization window.
+func (s *SharedL2) NewWindow(core int) *L2Window {
+	return &L2Window{s: s, core: int32(core), banks: make([]uint64, len(s.banks))}
+}
+
+// Begin snapshots the shared bank/bus occupancy and clears the window's
+// deferred state. Call between Commits only (never while cores are stepping).
+func (w *L2Window) Begin() {
+	copy(w.banks, w.s.banks)
+	w.busFree = w.s.busFree
+	w.reqs = w.reqs[:0]
+	w.fills = w.fills[:0]
+}
+
+// resident reports whether addr hits: frozen shared contents or an own fill.
+func (w *L2Window) resident(addr uint64) bool {
+	if w.s.c.Probe(addr) {
+		return true
+	}
+	blk := addr >> w.s.blockBits
+	for _, b := range w.fills {
+		if b == blk {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *L2Window) record(addr, now uint64, fetch bool) (hit bool) {
+	hit = w.resident(addr)
+	if !hit {
+		w.fills = append(w.fills, addr>>w.s.blockBits)
+	}
+	w.reqs = append(w.reqs, L2Req{
+		Now: now, Addr: addr, Core: w.core, Seq: uint32(len(w.reqs)), Fetch: fetch,
+	})
+	return hit
+}
+
+// data is the window-mode counterpart of SharedL2.AccessAt: it classifies the
+// access and charges bank/bus queueing against the window's private view.
+func (w *L2Window) data(addr, now uint64) (hit bool, wait uint64) {
+	bank := (addr >> w.s.blockBits) & w.s.bankMask
+	start := now
+	if w.banks[bank] > start {
+		start = w.banks[bank]
+	}
+	if w.busFree > start {
+		start = w.busFree
+	}
+	wait = start - now
+	w.busFree = start + w.s.busPerAccess
+	w.banks[bank] = start + w.s.busPerAccess
+	return w.record(addr, now, false), wait
+}
+
+// fetch is the window-mode counterpart of SharedL2.Access for instruction
+// fetches, which (as in the serial model) bypass bank/bus arbitration.
+func (w *L2Window) fetch(pc, now uint64) (hit bool) {
+	return w.record(pc, now, true)
+}
+
+// Commit merges the windows' deferred requests into the shared L2 in the
+// canonical order (request time, core ID, per-core program order) and replays
+// them: contents and LRU state fill in merged order, and data requests
+// re-arbitrate for banks and bus against the true interleaved occupancy,
+// which is where cross-core contention statistics and the occupancy seen by
+// the next window come from. The canonical order makes the merged state
+// independent of core scheduling. Nil windows are permitted and skipped.
+func (s *SharedL2) Commit(wins []*L2Window) {
+	s.commitBuf = s.commitBuf[:0]
+	for _, w := range wins {
+		if w != nil {
+			s.commitBuf = append(s.commitBuf, w.reqs...)
+		}
+	}
+	slices.SortFunc(s.commitBuf, func(a, b L2Req) int {
+		switch {
+		case a.Now != b.Now:
+			if a.Now < b.Now {
+				return -1
+			}
+			return 1
+		case a.Core != b.Core:
+			return int(a.Core) - int(b.Core)
+		default:
+			return int(a.Seq) - int(b.Seq)
+		}
+	})
+	for i := range s.commitBuf {
+		r := &s.commitBuf[i]
+		if !r.Fetch {
+			bank := (r.Addr >> s.blockBits) & s.bankMask
+			start := r.Now
+			if s.banks[bank] > start {
+				start = s.banks[bank]
+			}
+			if s.busFree > start {
+				start = s.busFree
+			}
+			if wait := start - r.Now; wait > 0 {
+				s.contended++
+				s.waitTotal += wait
+			}
+			s.busFree = start + s.busPerAccess
+			s.banks[bank] = start + s.busPerAccess
+		}
+		s.c.Access(r.Addr)
+	}
+}
+
 // Hierarchy is one core's view of the memory system: private L1s over a
 // (possibly shared) L2.
 type Hierarchy struct {
 	L1I *Cache
 	L1D *Cache
 	L2  *SharedL2
+
+	// win, when non-nil, defers this core's L2 traffic into a per-window
+	// request log instead of mutating the shared L2 (concurrent stepping).
+	win *L2Window
 }
+
+// SetWindow attaches (non-nil) or detaches (nil) the core's deferred-commit
+// window. While attached, timed L2 traffic routes through the window.
+func (h *Hierarchy) SetWindow(w *L2Window) { h.win = w }
 
 // NewHierarchy builds per-core L1s over the given shared L2.
 func NewHierarchy(m config.MemoryHierarchy, l2 *SharedL2) *Hierarchy {
@@ -272,7 +430,15 @@ func (h *Hierarchy) DataAccessAtRW(addr, now uint64, write bool) (Level, uint64)
 	if hit, _ := h.L1D.AccessRW(addr, write); hit {
 		return LevelL1, 0
 	}
-	hit, wait := h.L2.AccessAt(addr, now)
+	var (
+		hit  bool
+		wait uint64
+	)
+	if h.win != nil {
+		hit, wait = h.win.data(addr, now)
+	} else {
+		hit, wait = h.L2.AccessAt(addr, now)
+	}
 	if hit {
 		return LevelL2, wait
 	}
@@ -283,6 +449,25 @@ func (h *Hierarchy) DataAccessAtRW(addr, now uint64, write bool) (Level, uint64)
 func (h *Hierarchy) InstrFetch(pc uint64) Level {
 	if h.L1I.Access(pc) {
 		return LevelL1
+	}
+	if h.L2.Access(pc) {
+		return LevelL2
+	}
+	return LevelMemory
+}
+
+// InstrFetchAt is InstrFetch with a global timestamp, for multi-core cycle
+// simulation: fetches hold no bank/bus slot (matching InstrFetch) but their
+// L2 fills must still merge in canonical time order with data traffic.
+func (h *Hierarchy) InstrFetchAt(pc, now uint64) Level {
+	if h.L1I.Access(pc) {
+		return LevelL1
+	}
+	if h.win != nil {
+		if h.win.fetch(pc, now) {
+			return LevelL2
+		}
+		return LevelMemory
 	}
 	if h.L2.Access(pc) {
 		return LevelL2

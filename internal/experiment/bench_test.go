@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// sweepEnv builds a Figure-4-style sweep environment: the paper's four
+// policies over a trimmed budget grid and horizon, so one sweep iteration
+// stays in benchmark territory while still fanning 12 independent runs.
+func sweepEnv(b *testing.B, workers int) *Env {
+	e := env(b).ShortHorizon(10 * time.Millisecond)
+	e.Budgets = []float64{0.65, 0.80, 0.95}
+	e.Workers = workers
+	return e
+}
+
+// BenchmarkSweep measures a Figure-4-style (policy × budget) sweep through
+// the shared worker pool at 1 and GOMAXPROCS workers. The runs are
+// independent cmpsim simulations; results are bit-identical across worker
+// counts (TestSweepDeterministicAcrossWorkers).
+func BenchmarkSweep(b *testing.B) {
+	// Resolve characterization and the baseline outside the timed region.
+	if _, err := sweepEnv(b, 1).Figure4(); err != nil {
+		b.Fatal(err)
+	}
+	workersList := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := sweepEnv(b, workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Figure4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(e.Budgets)*len(Fig4Policies())), "runs/op")
+		})
+	}
+}
+
+// BenchmarkSweepSpeedup reports the parallel sweep speedup directly: each
+// iteration times the same Figure-4-style sweep serially and on GOMAXPROCS
+// workers and reports the wall-clock ratio (≈1 on a single-CPU host; the
+// pool's value there is bounding fan-out, not speed).
+func BenchmarkSweepSpeedup(b *testing.B) {
+	parallel := runtime.GOMAXPROCS(0)
+	if _, err := sweepEnv(b, 1).Figure4(); err != nil {
+		b.Fatal(err)
+	}
+	run := func(workers int) time.Duration {
+		e := sweepEnv(b, workers)
+		start := time.Now()
+		if _, err := e.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial += run(1)
+		par += run(parallel)
+	}
+	b.StopTimer()
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "x-speedup")
+	b.ReportMetric(float64(parallel), "workers")
+}

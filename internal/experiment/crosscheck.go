@@ -52,7 +52,8 @@ func (e *Env) CrossCheck(combo workload.Combo, budgetFrac float64, intervals int
 	// Cycle-level baseline: all-Turbo committed instructions over the same
 	// number of intervals.
 	mkChip := func() (*fullsim.Chip, error) {
-		chip, err := fullsim.New(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil)
+		chip, err := fullsim.NewWithOptions(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil,
+			fullsim.Options{Workers: e.workers()})
 		if err != nil {
 			return nil, err
 		}

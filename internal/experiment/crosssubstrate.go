@@ -85,8 +85,9 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 			Horizon:   horizon,
 		})
 	}
-	mkChip := func() (*fullsim.Chip, error) {
-		chip, err := fullsim.New(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil)
+	mkChip := func(workers int) (*fullsim.Chip, error) {
+		chip, err := fullsim.NewWithOptions(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil,
+			fullsim.Options{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +101,7 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 	}
 	budgetW := budgetFrac * traceBase.EnvelopePowerW()
 
-	chip, err := mkChip()
+	chip, err := mkChip(e.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -115,18 +116,23 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 		BudgetW:    budgetW,
 		Intervals:  intervals,
 	}
-	for _, pol := range policies {
+	// Fan the per-policy runs (each a trace run plus a cycle-level run) out
+	// on the shared pool; the chips split the worker budget so the sweep's
+	// total goroutine count stays bounded by e.Workers.
+	rows := make([]CrossSubstrateRow, len(policies))
+	err = forEach(e.workers(), len(policies), func(i int) error {
+		pol := policies[i]
 		tr, err := runTrace(pol, cmpsim.FixedBudget(budgetW))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		chip, err := mkChip()
+		chip, err := mkChip(e.chipWorkers(len(policies)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		full, err := chip.RunManaged(pol, budgetW, intervals)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := CrossSubstrateRow{
 			Policy:         pol.Name(),
@@ -142,8 +148,13 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 		} else {
 			row.DegGap = row.FullDeg - row.TraceDeg
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	out.RankAgree = sameRanking(out.Rows)
 	return out, nil
 }
@@ -182,7 +193,8 @@ func (e *Env) CrossSubstrateTraced(combo workload.Combo, pol core.Policy, budget
 		return nil, nil, err
 	}
 
-	chip, err := fullsim.New(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil)
+	chip, err := fullsim.NewWithOptions(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil,
+		fullsim.Options{Workers: e.workers()})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gpm/internal/cmpsim"
@@ -41,6 +42,14 @@ type Env struct {
 	// many runs into one trace, which no replay could make sense of.
 	Observer engine.Observer
 
+	// Workers bounds the shared worker pool used by sweep fan-outs
+	// (budget × policy grids, resilience points, cross-substrate runs) and
+	// sizes the cycle-level chips experiments construct. 0 means GOMAXPROCS.
+	// Results are deterministic for every value.
+	Workers int
+
+	// mu guards baselines: sweeps resolve baselines from pool workers.
+	mu sync.Mutex
 	// baselines caches all-Turbo reference runs by combo ID.
 	baselines map[string]*cmpsim.Result
 }
@@ -96,8 +105,13 @@ func (e *Env) Predictor() core.Predictor {
 }
 
 // Baseline returns (and caches) the all-Turbo reference run for a combo.
+// Safe for concurrent use; a cache miss raced by two workers computes the
+// (deterministic) run twice and keeps one copy.
 func (e *Env) Baseline(combo workload.Combo) (*cmpsim.Result, error) {
-	if r, ok := e.baselines[combo.ID]; ok {
+	e.mu.Lock()
+	r, ok := e.baselines[combo.ID]
+	e.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	r, err := cmpsim.Run(e.Lib, combo, cmpsim.Options{
@@ -108,7 +122,13 @@ func (e *Env) Baseline(combo workload.Combo) (*cmpsim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.baselines[combo.ID] = r
+	e.mu.Lock()
+	if prev, ok := e.baselines[combo.ID]; ok {
+		r = prev // keep the first copy so pointers stay stable
+	} else {
+		e.baselines[combo.ID] = r
+	}
+	e.mu.Unlock()
 	return r, nil
 }
 
@@ -155,24 +175,52 @@ type PolicyCurve struct {
 	PowerSaving []float64
 }
 
-// Curve sweeps a policy across e.Budgets for a combo. staticOracle handles
-// the Fixed-vector lower bound separately (see static.go).
+// Curve sweeps a policy across e.Budgets for a combo, fanning the budget
+// points out on the env's worker pool. staticOracle handles the Fixed-vector
+// lower bound separately (see static.go).
 func (e *Env) Curve(combo workload.Combo, policy core.Policy) (*PolicyCurve, error) {
+	cs, err := e.Curves(combo, []core.Policy{policy})
+	if err != nil {
+		return nil, err
+	}
+	return cs[0], nil
+}
+
+// Curves sweeps several policies across e.Budgets for one combo as a single
+// flattened (policy × budget) fan-out on the env's worker pool. Independent
+// runs execute concurrently (bounded by Workers); results land in
+// deterministic order — policies as given, budgets as in e.Budgets — and are
+// bit-identical to the serial sweep for every worker count.
+func (e *Env) Curves(combo workload.Combo, policies []core.Policy) ([]*PolicyCurve, error) {
 	base, err := e.Baseline(combo)
 	if err != nil {
 		return nil, err
 	}
-	pc := &PolicyCurve{Policy: policy.Name(), ComboID: combo.ID, Budgets: e.Budgets}
-	for _, b := range e.Budgets {
-		res, _, err := e.RunPolicy(combo, policy, b)
-		if err != nil {
-			return nil, err
+	nb := len(e.Budgets)
+	runs := make([]*cmpsim.Result, len(policies)*nb)
+	err = forEach(e.workers(), len(runs), func(i int) error {
+		pol, frac := policies[i/nb], e.Budgets[i%nb]
+		res, runErr := e.Run(combo, pol, cmpsim.FixedBudget(frac*base.EnvelopePowerW()))
+		if runErr != nil {
+			return fmt.Errorf("%s @ %.0f%%: %w", pol.Name(), 100*frac, runErr)
 		}
-		if err := pc.append(res, base, b); err != nil {
-			return nil, err
-		}
+		runs[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return pc, nil
+	out := make([]*PolicyCurve, len(policies))
+	for p, pol := range policies {
+		pc := &PolicyCurve{Policy: pol.Name(), ComboID: combo.ID, Budgets: e.Budgets}
+		for bi, frac := range e.Budgets {
+			if err := pc.append(runs[p*nb+bi], base, frac); err != nil {
+				return nil, err
+			}
+		}
+		out[p] = pc
+	}
+	return out, nil
 }
 
 func (pc *PolicyCurve) append(res, base *cmpsim.Result, budgetFrac float64) error {
@@ -195,6 +243,7 @@ func (e *Env) ShortHorizon(h time.Duration) *Env {
 	cfg.Sim.Horizon = h
 	out := NewEnvWith(cfg)
 	out.Budgets = e.Budgets
+	out.Workers = e.Workers
 	// Characterization does not depend on the horizon, so the profile cache
 	// can be shared.
 	out.Lib = e.Lib

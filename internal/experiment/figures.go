@@ -149,18 +149,15 @@ func Fig4Policies() []core.Policy {
 	return []core.Policy{core.PullHiPushLo{}, core.Priority{}, core.MaxBIPS{}, core.ChipWideDVFS{}}
 }
 
-// Figure4 sweeps the four §5.2/§5.3 policies on the baseline 4-way combo.
+// Figure4 sweeps the four §5.2/§5.3 policies on the baseline 4-way combo as
+// one (policy × budget) fan-out on the env's worker pool.
 func (e *Env) Figure4() (*Figure4Result, error) {
 	combo := workload.FourWay[0]
-	res := &Figure4Result{ComboID: combo.ID}
-	for _, pol := range Fig4Policies() {
-		pc, err := e.Curve(combo, pol)
-		if err != nil {
-			return nil, err
-		}
-		res.Curves = append(res.Curves, pc)
+	curves, err := e.Curves(combo, Fig4Policies())
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure4Result{ComboID: combo.ID, Curves: curves}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -279,14 +276,11 @@ func (e *Env) Figure6(dropAt time.Duration) (*Figure6Result, error) {
 // slowdowns are both carried by PolicyCurve).
 func (e *Env) Figure7() (*Figure4Result, error) {
 	combo := workload.FourWay[0]
-	res := &Figure4Result{ComboID: combo.ID}
-	for _, pol := range []core.Policy{core.ChipWideDVFS{}, core.MaxBIPS{}, core.Oracle{}} {
-		pc, err := e.Curve(combo, pol)
-		if err != nil {
-			return nil, err
-		}
-		res.Curves = append(res.Curves, pc)
+	curves, err := e.Curves(combo, []core.Policy{core.ChipWideDVFS{}, core.MaxBIPS{}, core.Oracle{}})
+	if err != nil {
+		return nil, err
 	}
+	res := &Figure4Result{ComboID: combo.ID, Curves: curves}
 	st, err := e.StaticCurve(combo)
 	if err != nil {
 		return nil, err
@@ -314,14 +308,11 @@ func (e *Env) FigureScaling(n int) (*ScalingResult, error) {
 	}
 	out := &ScalingResult{Cores: n}
 	for _, combo := range combos {
-		fr := Figure4Result{ComboID: combo.ID}
-		for _, pol := range []core.Policy{core.ChipWideDVFS{}, core.MaxBIPS{}, core.Oracle{}} {
-			pc, err := e.Curve(combo, pol)
-			if err != nil {
-				return nil, err
-			}
-			fr.Curves = append(fr.Curves, pc)
+		curves, err := e.Curves(combo, []core.Policy{core.ChipWideDVFS{}, core.MaxBIPS{}, core.Oracle{}})
+		if err != nil {
+			return nil, err
 		}
+		fr := Figure4Result{ComboID: combo.ID, Curves: curves}
 		st, err := e.StaticCurve(combo)
 		if err != nil {
 			return nil, err
@@ -360,18 +351,11 @@ func (e *Env) Figure11(widths []int) ([]Figure11Row, error) {
 		}
 		row := Figure11Row{Cores: n}
 		for _, combo := range combos {
-			oracle, err := e.Curve(combo, core.Oracle{})
+			curves, err := e.Curves(combo, []core.Policy{core.Oracle{}, core.MaxBIPS{}, core.ChipWideDVFS{}})
 			if err != nil {
 				return nil, err
 			}
-			mb, err := e.Curve(combo, core.MaxBIPS{})
-			if err != nil {
-				return nil, err
-			}
-			cw, err := e.Curve(combo, core.ChipWideDVFS{})
-			if err != nil {
-				return nil, err
-			}
+			oracle, mb, cw := curves[0], curves[1], curves[2]
 			st, err := e.StaticCurve(combo)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpm/internal/workload"
+)
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		if err := forEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachJoinsErrorsInIndexOrder(t *testing.T) {
+	err := forEach(4, 6, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	want := errors.Join(
+		fmt.Errorf("job 1 failed"), fmt.Errorf("job 3 failed"), fmt.Errorf("job 5 failed"))
+	if err.Error() != want.Error() {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins the parallel sweep runner's
+// contract: a Figure-4-style (policy × budget) sweep and a resilience sweep
+// must produce results bit-identical to the serial runner for any worker
+// count, in the same order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	mkEnv := func(workers int) *Env {
+		e := env(t).ShortHorizon(10 * time.Millisecond)
+		e.Budgets = []float64{0.70, 0.90}
+		e.Workers = workers
+		return e
+	}
+
+	serial, err := mkEnv(1).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := mkEnv(workers).Figure4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("Figure4 with Workers=%d differs from serial sweep", workers)
+		}
+	}
+
+	combo := workload.FourWay[0]
+	rates := []float64{0, 0.2}
+	serialPts, err := mkEnv(1).ResilienceSweep(combo, ResiliencePolicies(), rates, ResilienceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelPts, err := mkEnv(6).ResilienceSweep(combo, ResiliencePolicies(), rates, ResilienceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallelPts, serialPts) {
+		t.Error("ResilienceSweep with Workers=6 differs from serial sweep")
+	}
+}

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"gpm/internal/cmpsim"
 	"gpm/internal/core"
@@ -47,7 +45,8 @@ type ResilienceOptions struct {
 	// Scenario maps (rate, seed) to the injected scenario. Default
 	// DefaultFaultProfile.
 	Scenario func(rate float64, seed int64) fault.Scenario
-	// Parallel bounds concurrent simulations. Default GOMAXPROCS.
+	// Parallel bounds concurrent simulations. Default Env.Workers
+	// (itself defaulting to GOMAXPROCS).
 	Parallel int
 }
 
@@ -83,7 +82,7 @@ func (e *Env) ResilienceSweep(combo workload.Combo, policies []core.Policy, rate
 		opts.Scenario = DefaultFaultProfile
 	}
 	if opts.Parallel <= 0 {
-		opts.Parallel = runtime.GOMAXPROCS(0)
+		opts.Parallel = e.workers()
 	}
 	// Resolve the baseline up front: Env's cache is not synchronized, and
 	// every worker needs the same reference anyway.
@@ -94,7 +93,6 @@ func (e *Env) ResilienceSweep(combo workload.Combo, policies []core.Policy, rate
 	budget := opts.BudgetFrac * base.EnvelopePowerW()
 
 	type job struct {
-		idx     int
 		policy  core.Policy
 		rate    float64
 		rateIdx int
@@ -104,62 +102,54 @@ func (e *Env) ResilienceSweep(combo workload.Combo, policies []core.Policy, rate
 	for _, pol := range policies {
 		for ri, rate := range rates {
 			for _, guarded := range []bool{false, true} {
-				jobs = append(jobs, job{idx: len(jobs), policy: pol, rate: rate, rateIdx: ri, guarded: guarded})
+				jobs = append(jobs, job{policy: pol, rate: rate, rateIdx: ri, guarded: guarded})
 			}
 		}
 	}
 
+	// Fan out on the shared bounded pool (at most opts.Parallel goroutines
+	// total, not one per job); indexed writes keep the point order
+	// deterministic.
 	points := make([]ResiliencePoint, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, opts.Parallel)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sc := opts.Scenario(j.rate, opts.Seed+int64(j.rateIdx))
-			opt := cmpsim.Options{
-				Budget:    cmpsim.FixedBudget(budget),
-				Policy:    j.policy,
-				Predictor: e.Predictor(),
-				Horizon:   e.Cfg.Sim.Horizon,
-				Fault:     &sc,
-			}
-			if j.guarded {
-				g := opts.Guard
-				opt.Guard = &g
-			}
-			res, err := cmpsim.Run(e.Lib, combo, opt)
-			if err != nil {
-				errs[j.idx] = fmt.Errorf("%s rate %.2f guarded=%v: %w", j.policy.Name(), j.rate, j.guarded, err)
-				return
-			}
-			share := 0.0
-			if len(res.ChipPowerW) > 0 {
-				share = float64(res.OvershootIntervals) / float64(len(res.ChipPowerW))
-			}
-			points[j.idx] = ResiliencePoint{
-				Policy:           j.policy.Name(),
-				FaultRate:        j.rate,
-				Guarded:          j.guarded,
-				Degradation:      metrics.Degradation(res.TotalInstr, base.TotalInstr),
-				AvgPowerW:        res.AvgChipPowerW(),
-				BudgetW:          budget,
-				OvershootShare:   share,
-				WorstOvershootWs: res.WorstOvershootWs,
-				EmergencyEntries: res.EmergencyEntries,
-				SanitizedSamples: res.SanitizedSamples,
-				DeadCores:        len(res.DeadCores),
-			}
-		}(j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	err = forEach(opts.Parallel, len(jobs), func(i int) error {
+		j := jobs[i]
+		sc := opts.Scenario(j.rate, opts.Seed+int64(j.rateIdx))
+		opt := cmpsim.Options{
+			Budget:    cmpsim.FixedBudget(budget),
+			Policy:    j.policy,
+			Predictor: e.Predictor(),
+			Horizon:   e.Cfg.Sim.Horizon,
+			Fault:     &sc,
 		}
+		if j.guarded {
+			g := opts.Guard
+			opt.Guard = &g
+		}
+		res, err := cmpsim.Run(e.Lib, combo, opt)
+		if err != nil {
+			return fmt.Errorf("%s rate %.2f guarded=%v: %w", j.policy.Name(), j.rate, j.guarded, err)
+		}
+		share := 0.0
+		if len(res.ChipPowerW) > 0 {
+			share = float64(res.OvershootIntervals) / float64(len(res.ChipPowerW))
+		}
+		points[i] = ResiliencePoint{
+			Policy:           j.policy.Name(),
+			FaultRate:        j.rate,
+			Guarded:          j.guarded,
+			Degradation:      metrics.Degradation(res.TotalInstr, base.TotalInstr),
+			AvgPowerW:        res.AvgChipPowerW(),
+			BudgetW:          budget,
+			OvershootShare:   share,
+			WorstOvershootWs: res.WorstOvershootWs,
+			EmergencyEntries: res.EmergencyEntries,
+			SanitizedSamples: res.SanitizedSamples,
+			DeadCores:        len(res.DeadCores),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -42,7 +42,8 @@ type ValidationResult struct {
 // compares per-benchmark power and IPC against the single-threaded trace
 // characterizations the CMP tool is built from.
 func (e *Env) Validation(combo workload.Combo, windowGlobalCycles, warmupInstr uint64) (*ValidationResult, error) {
-	chip, err := fullsim.New(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil)
+	chip, err := fullsim.NewWithOptions(e.Cfg, e.Model, e.Plan, combo.Benchmarks, 0, nil,
+		fullsim.Options{Workers: e.workers()})
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,9 @@ package fullsim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpm/internal/bpred"
@@ -32,12 +35,28 @@ import (
 // coreStride separates per-core address spaces in the shared L2.
 const coreStride uint64 = 1 << 40
 
-// quantum is the round-robin interleaving step in global (nominal) cycles.
-// It must stay small relative to the L2 service time: cores run their quanta
-// serially, so another core's bus reservations can sit up to one quantum in
-// a core's local future, and a large quantum would turn that skew into
-// spurious queueing delay.
-const quantum uint64 = 20
+// DefaultWindowCycles is the default synchronization-window length in global
+// (nominal) cycles. Within a window cores step independently against frozen
+// shared-L2 state (see cache.L2Window), so — unlike the old serial 20-cycle
+// quantum — the window does not have to stay below the L2 service time; it
+// only bounds how stale one core's view of the others' L2 traffic can be.
+// 200 cycles is well under the per-delta management timescale (50k cycles)
+// while keeping the per-window synchronization cost amortized.
+const DefaultWindowCycles uint64 = 200
+
+// Options tunes the simulation machinery without affecting results other
+// than through WindowCycles (Workers never changes results).
+type Options struct {
+	// Workers is the number of goroutines stepping cores inside Advance.
+	// 0 means GOMAXPROCS; 1 forces serial stepping. Results are bit-identical
+	// for every value: the two-phase shared-L2 scheme resolves all cross-core
+	// interaction in a canonical order.
+	Workers int
+	// WindowCycles is the synchronization-window length in global cycles
+	// (0 = DefaultWindowCycles). Smaller windows tighten contention-visibility
+	// latency; larger windows cut synchronization overhead.
+	WindowCycles uint64
+}
 
 // Chip is a multi-core cycle-level simulation.
 type Chip struct {
@@ -49,20 +68,37 @@ type Chip struct {
 	cores      []*uarch.Core
 	gens       []*workload.Generator
 	hiers      []*cache.Hierarchy
+	wins       []*cache.L2Window
 	fscales    []float64
+	invFscales []float64
 	vector     modes.Vector
 	benchmarks []string
+
+	workers int
+	window  uint64
 
 	// globalNow is the frontier of simulated global time (nominal cycles).
 	globalNow uint64
 	// alive[i] is false once core i's stream ends (synthetic streams don't).
+	// During a window, alive[i] is owned by the worker stepping core i.
 	alive []bool
+
+	// winScratch collects the windows begun in the current synchronization
+	// window for Commit; mStarts/mActs are Measure's per-interval scratch.
+	winScratch []*cache.L2Window
+	mStarts    []uint64
+	mActs      []power.Activity
 }
 
 // New builds a chip running the named benchmarks (one per core) at phase
 // `phase` of each, starting with all cores in mode vector v (nil = all
-// Turbo).
+// Turbo), with default Options.
 func New(cfg config.Config, model power.Model, plan modes.Plan, benchmarks []string, phase int, v modes.Vector) (*Chip, error) {
+	return NewWithOptions(cfg, model, plan, benchmarks, phase, v, Options{})
+}
+
+// NewWithOptions is New with explicit simulation-machinery options.
+func NewWithOptions(cfg config.Config, model power.Model, plan modes.Plan, benchmarks []string, phase int, v modes.Vector, opt Options) (*Chip, error) {
 	n := len(benchmarks)
 	if n == 0 {
 		return nil, fmt.Errorf("fullsim: no benchmarks")
@@ -73,15 +109,29 @@ func New(cfg config.Config, model power.Model, plan modes.Plan, benchmarks []str
 	if len(v) != n {
 		return nil, fmt.Errorf("fullsim: %d modes for %d cores", len(v), n)
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := opt.WindowCycles
+	if window == 0 {
+		window = DefaultWindowCycles
+	}
 	ch := &Chip{
 		cfg:        cfg,
 		model:      model,
 		plan:       plan,
 		l2:         cache.NewSharedL2(cfg.Mem.L2, cfg.Mem.L2Banks, cfg.Mem.L2BusCyclesPerAccess),
 		fscales:    make([]float64, n),
+		invFscales: make([]float64, n),
 		vector:     v.Clone(),
 		alive:      make([]bool, n),
 		benchmarks: append([]string(nil), benchmarks...),
+		workers:    workers,
+		window:     window,
+		winScratch: make([]*cache.L2Window, 0, n),
+		mStarts:    make([]uint64, n),
+		mActs:      make([]power.Activity, n),
 	}
 	for i, name := range benchmarks {
 		spec, err := workload.Lookup(name)
@@ -96,13 +146,17 @@ func New(cfg config.Config, model power.Model, plan modes.Plan, benchmarks []str
 		f := plan.FreqScale(v[i])
 		c.SetFreqScale(f)
 		ch.fscales[i] = f
+		ch.invFscales[i] = 1 / f
 		idx := i
 		c.GlobalCycle = func(local uint64) uint64 {
-			return uint64(float64(local) / ch.fscales[idx])
+			// Multiply by the precomputed reciprocal: this runs on every
+			// timed L2 access and fetch-block change.
+			return uint64(float64(local) * ch.invFscales[idx])
 		}
 		ch.cores = append(ch.cores, c)
 		ch.gens = append(ch.gens, gen)
 		ch.hiers = append(ch.hiers, hier)
+		ch.wins = append(ch.wins, ch.l2.NewWindow(i))
 		ch.alive[i] = true
 	}
 	return ch, nil
@@ -122,6 +176,7 @@ func (ch *Chip) SetVector(v modes.Vector) {
 			f := ch.plan.FreqScale(v[i])
 			ch.cores[i].SetFreqScale(f)
 			ch.fscales[i] = f
+			ch.invFscales[i] = 1 / f
 		}
 	}
 	ch.vector = v.Clone()
@@ -157,50 +212,116 @@ func (ch *Chip) Warm(instr uint64) {
 // corners).
 func instrGlobalGuess(instr uint64) uint64 { return instr * 32 }
 
-// Advance runs all cores, interleaved in fixed quanta, until global time
-// advances by `globalCycles`.
+// Advance runs all cores until global time advances by `globalCycles`,
+// synchronizing at window boundaries. Within a window, cores step
+// independently — concurrently when Workers > 1 — against shared-L2 state
+// frozen at the window start; their deferred L2 traffic is then merged in a
+// canonical order (see cache.SharedL2.Commit), so results are bit-identical
+// for any worker count.
 func (ch *Chip) Advance(globalCycles uint64) {
 	target := ch.globalNow + globalCycles
+	if ch.globalNow >= target {
+		return
+	}
+	for i := range ch.hiers {
+		ch.hiers[i].SetWindow(ch.wins[i])
+	}
 	for ch.globalNow < target {
-		step := ch.globalNow + quantum
+		step := ch.globalNow + ch.window
 		if step > target {
 			step = target
 		}
+		ch.runWindow(step)
+		ch.globalNow = step
+	}
+	for i := range ch.hiers {
+		ch.hiers[i].SetWindow(nil)
+	}
+}
+
+// localTarget converts a global window boundary to core i's local-cycle
+// target.
+func (ch *Chip) localTarget(i int, step uint64) uint64 {
+	return uint64(math.Ceil(float64(step) * ch.fscales[i]))
+}
+
+// runWindow executes one synchronization window ending at global cycle step.
+func (ch *Chip) runWindow(step uint64) {
+	ch.winScratch = ch.winScratch[:0]
+	for i := range ch.cores {
+		if ch.alive[i] {
+			ch.wins[i].Begin()
+			ch.winScratch = append(ch.winScratch, ch.wins[i])
+		}
+	}
+	live := len(ch.winScratch)
+	if live == 0 {
+		return
+	}
+	if w := min(ch.workers, live); w > 1 {
+		// Workers claim cores via an atomic cursor; each alive[i] is written
+		// only by the worker that claimed core i, and the barrier below
+		// publishes everything before the single-threaded commit.
+		var cursor atomic.Int64
+		work := func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ch.cores) {
+					return
+				}
+				if !ch.alive[i] {
+					continue
+				}
+				if !ch.cores[i].Run(ch.localTarget(i, step)) {
+					ch.alive[i] = false
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(w - 1)
+		for k := 0; k < w-1; k++ {
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	} else {
 		for i, c := range ch.cores {
 			if !ch.alive[i] {
 				continue
 			}
-			localTarget := uint64(math.Ceil(float64(step) * ch.fscales[i]))
-			if !c.Run(localTarget) {
+			if !c.Run(ch.localTarget(i, step)) {
 				ch.alive[i] = false
 			}
 		}
-		ch.globalNow = step
 	}
+	// Cores that died mid-window still committed their recorded traffic.
+	ch.l2.Commit(ch.winScratch)
 }
 
 // Measure advances the chip by `globalCycles` of global time and returns the
-// per-core activities for that window (local cycles measured per core).
+// per-core activities for that window (local cycles measured per core). The
+// returned slice is scratch reused by the next Measure call; callers that
+// need the activities past that point must copy them.
 func (ch *Chip) Measure(globalCycles uint64) []power.Activity {
-	starts := make([]uint64, len(ch.cores))
 	for i, c := range ch.cores {
 		c.ResetCounters()
-		starts[i] = c.Frontier()
+		ch.mStarts[i] = c.Frontier()
 	}
 	ch.Advance(globalCycles)
-	out := make([]power.Activity, len(ch.cores))
 	for i, c := range ch.cores {
 		ctr := c.Counters()
-		elapsed := c.Frontier() - starts[i]
+		elapsed := c.Frontier() - ch.mStarts[i]
 		if elapsed == 0 {
 			elapsed = 1
 		}
 		// Commit the measured local-cycle window into the counters so the
 		// activity normalization matches the window length.
-		a := activityWithCycles(c, ctr, elapsed)
-		out[i] = a
+		ch.mActs[i] = activityWithCycles(c, ctr, elapsed)
 	}
-	return out
+	return ch.mActs
 }
 
 // activityWithCycles recomputes the activity for a specific window length.

@@ -33,9 +33,12 @@ const frontEndDepth = 3
 
 // ring is a fixed-size cycle ring used to model capacity constraints: entry
 // i of a capacity-k resource is free once the (i-k)-th user released it.
+// The cursor wraps by compare-and-reset rather than modulo: freeAt/push run
+// ~11 times per simulated instruction, and a 64-bit divide per call is
+// measurable at that rate.
 type ring struct {
 	buf []uint64
-	n   uint64
+	pos int
 }
 
 func newRing(k int) *ring {
@@ -47,12 +50,15 @@ func newRing(k int) *ring {
 
 // freeAt returns the cycle at which a new slot is available, given the
 // release cycles pushed so far.
-func (r *ring) freeAt() uint64 { return r.buf[r.n%uint64(len(r.buf))] }
+func (r *ring) freeAt() uint64 { return r.buf[r.pos] }
 
 // push records that the newly allocated slot is released at cycle c.
 func (r *ring) push(c uint64) {
-	r.buf[r.n%uint64(len(r.buf))] = c
-	r.n++
+	r.buf[r.pos] = c
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
 }
 
 // fuBank models one class of pipelined functional units (1/cycle throughput
@@ -262,7 +268,13 @@ func (c *Core) step() bool {
 		blk := in.PC &^ uint64(c.cfg.Mem.L1I.BlockSize-1)
 		lv := cache.LevelL1
 		if blk != c.lastFetchBlock {
-			lv = c.hier.InstrFetch(in.PC)
+			if c.GlobalCycle != nil {
+				// Timestamped fetch so window-deferred L2 fills merge in
+				// canonical time order (full-CMP simulation).
+				lv = c.hier.InstrFetchAt(in.PC, c.GlobalCycle(c.nextFetch))
+			} else {
+				lv = c.hier.InstrFetch(in.PC)
+			}
 			c.lastFetchBlock = blk
 			if lv != cache.LevelL1 {
 				c.ctr.L1IMisses++
@@ -345,6 +357,7 @@ func (c *Core) step() bool {
 			lv, wait = c.hier.DataAccessAtRW(in.Addr, c.GlobalCycle(issue), write)
 			// Contention wait is in global cycles; convert back to local.
 			wait = uint64(math.Round(float64(wait) * c.freqScale))
+			c.ctr.L2WaitCycles += wait
 		} else {
 			lv = c.hier.DataAccessRW(in.Addr, write)
 		}

@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"math/rand"
-
 	"gpm/internal/isa"
 )
 
@@ -28,7 +26,7 @@ const (
 type Generator struct {
 	spec  Spec
 	phase Phase
-	rng   *rand.Rand
+	rng   *rng
 
 	// resolved phase parameters
 	cum     [isa.NumOps]float64 // cumulative mix distribution
@@ -68,7 +66,7 @@ func NewGenerator(spec Spec, phase int, seed int64) *Generator {
 	g := &Generator{
 		spec:  spec,
 		phase: p,
-		rng:   rand.New(rand.NewSource(seed ^ int64(phase)*0x7f4a7c159e3779b9)),
+		rng:   newRNG(seed ^ int64(phase)*0x7f4a7c159e3779b9),
 	}
 	mix := spec.scaledMix(p)
 	total := mix.sum()
