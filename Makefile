@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json golden fuzz
+.PHONY: all build vet test race check bench-json golden fuzz chaos
 
 all: check
 
@@ -29,7 +29,7 @@ check: race
 # engine decision-loop benchmarks (ns/decision across manager + middleware
 # configurations on the synthetic substrate).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024' -benchmem ./internal/solver \
+	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024|BenchmarkDeadlineSolver' -benchmem ./internal/solver \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo wrote BENCH_solver.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$' -benchmem ./internal/engine \
@@ -51,6 +51,14 @@ bench-json:
 golden:
 	$(GO) test -count=1 -run 'TestGolden' ./internal/cmpsim
 	$(GO) test -count=1 -run 'TestRunPolicyGoldenBitIdentical|TestCrossSubstrate' ./internal/experiment
+
+# Seeded deterministic chaos soak: randomized fault schedules against the
+# decision supervisor's invariant monitors (conformance, finiteness, bounded
+# recovery, bit-identical reruns). gpmsim exits non-zero on any violation, so
+# this target is a CI gate. Short by design; `gpmsim chaos` with bigger
+# -runs/-intervals (and -fullsim) is the long-form soak.
+chaos: build
+	$(GO) run ./cmd/gpmsim -seed 7 -runs 1 -intervals 12 chaos
 
 # Short coverage-guided fuzz of the trace codec beyond the checked-in seed
 # corpus (testdata/fuzz/...); the seeds themselves run as part of `make test`.

@@ -30,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -61,13 +62,19 @@ var (
 	flagTrace   = flag.String("trace", "", "record the decision trace of 'run' to this JSONL file (for 'xcheck': record a <name>.cmpsim.jsonl/<name>.fullsim.jsonl pair)")
 	flagWorkers = flag.Int("workers", 0, "worker-pool size for parallel sweeps and fullsim stepping (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	flagPprof   = flag.String("pprof", "", "write a CPU profile of the whole invocation to this file")
+
+	flagSeed      = flag.Int64("seed", 1, "base PRNG seed for 'chaos' fault schedules")
+	flagRuns      = flag.Int("runs", 2, "randomized fault schedules per policy×budget cell for 'chaos'")
+	flagIntervals = flag.Int("intervals", 0, "explore intervals per 'chaos' run (0 = default 25)")
+	flagDeadline  = flag.Duration("deadline", 0, "per-decision wall-clock deadline for 'chaos' (0 = deterministic node-budget mode; >0 arms the watchdog and injected solver stalls, disabling the bit-identical-rerun monitor)")
+	flagFullsim   = flag.Bool("fullsim", false, "also soak the cycle-level substrate in 'chaos'")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>... | replay <trace.jsonl> | tracediff <a.jsonl> <b.jsonl>")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience scaling run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience chaos scaling run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -202,6 +209,8 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return sched(env)
 	case "resilience":
 		return resilience(env)
+	case "chaos":
+		return chaos(env)
 	case "scaling":
 		return solverScaling(env)
 	case "run":
@@ -691,6 +700,16 @@ func resilience(env *experiment.Env) error {
 	if err != nil {
 		return err
 	}
+	// A fault scenario must degrade metrics, never poison them: any
+	// non-finite point is an invariant violation and fails the invocation.
+	for _, p := range pts {
+		for _, x := range []float64{p.Degradation, p.AvgPowerW, p.BudgetW, p.OvershootShare, p.WorstOvershootWs} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("invariant violation: non-finite metric in point %s rate=%.2f guarded=%v: %+v",
+					p.Policy, p.FaultRate, p.Guarded, p)
+			}
+		}
+	}
 	t := report.NewTable(fmt.Sprintf("Resilience: degradation vs fault rate (%s, %.0f%% budget)", combo.ID, *flagBudget*100),
 		"policy", "fault rate", "guarded", "degradation", "avg/budget", "overshoot", "worst W·s", "emergencies", "sanitized", "dead")
 	for _, p := range pts {
@@ -704,6 +723,67 @@ func resilience(env *experiment.Env) error {
 			fmt.Sprintf("%d", p.SanitizedSamples), fmt.Sprintf("%d", p.DeadCores))
 	}
 	emit(t)
+	return nil
+}
+
+// histLine renders a fixed-bucket histogram as one summary line.
+func histLine(h *experiment.Histogram, unit string) string {
+	if h.N == 0 {
+		return "none"
+	}
+	s := fmt.Sprintf("n=%d mean=%.2f max=%.2f %s |", h.N, h.Mean(), h.Max, unit)
+	for i, c := range h.Counts {
+		if i < len(h.Bounds) {
+			s += fmt.Sprintf(" ≤%g:%d", h.Bounds[i], c)
+		} else {
+			s += fmt.Sprintf(" >%g:%d", h.Bounds[len(h.Bounds)-1], c)
+		}
+	}
+	return s
+}
+
+// chaos runs the seeded randomized fault soak against the decision
+// supervisor's invariant monitors and exits non-zero on any violation, so CI
+// can gate on it directly.
+func chaos(env *experiment.Env) error {
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	rep, err := env.ChaosSoak(combo, experiment.ChaosOptions{
+		Seed:      *flagSeed,
+		Runs:      *flagRuns,
+		Intervals: *flagIntervals,
+		Deadline:  *flagDeadline,
+		Fullsim:   *flagFullsim,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Chaos soak: %s, seed %d (%d runs, %d decisions)",
+		combo.ID, *flagSeed, rep.Runs, rep.Decisions),
+		"substrate", "policy", "budget", "decisions", "rung0", "rung1", "rung2", "rung3", "rejects", "repairs", "timeouts", "wedged", "violations")
+	for _, r := range rep.Rows {
+		t.AddRow(r.Substrate, r.Policy, report.Pct(r.BudgetFrac), fmt.Sprintf("%d", r.Decisions),
+			fmt.Sprintf("%d", r.RungHits[0]), fmt.Sprintf("%d", r.RungHits[1]),
+			fmt.Sprintf("%d", r.RungHits[2]), fmt.Sprintf("%d", r.RungHits[3]),
+			fmt.Sprintf("%d", r.Rejects), fmt.Sprintf("%d", r.Repairs),
+			fmt.Sprintf("%d", r.Timeouts), fmt.Sprintf("%d", r.Wedged),
+			fmt.Sprintf("%d", r.Violations))
+	}
+	emit(t)
+	fmt.Printf("MTTR [explore intervals]:     %s\n", histLine(rep.MTTR, "intervals"))
+	fmt.Printf("overshoot magnitude:          %s\n", histLine(rep.OvershootW, "W"))
+	fmt.Printf("overshoot duration:           %s\n", histLine(rep.OvershootLen, "delta intervals"))
+	fmt.Println()
+	if err := rep.Err(); err != nil {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "violation: %s\n", v)
+		}
+		return err
+	}
+	fmt.Println("chaos: all invariants held (conformance, finiteness, recovery, determinism)")
+	fmt.Println()
 	return nil
 }
 

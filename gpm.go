@@ -212,6 +212,31 @@ type CrossSubstrateResult = experiment.CrossSubstrateResult
 // CrossSubstratePolicies is the default policy set for System.CrossSubstrate.
 func CrossSubstratePolicies() []Policy { return experiment.CrossSubstratePolicies() }
 
+// --- Decision supervisor & chaos soak (DESIGN.md §11) -----------------------
+
+// SupervisorConfig arms the engine's decision supervisor: deadline-bounded
+// solving (wall-clock watchdog and/or deterministic solver node budget), a
+// four-rung graceful-degradation ladder behind the configured policy, and a
+// budget-conformance gate on every actuated mode vector. Off by default;
+// set it via cmpsim.Options.Supervisor / fullsim.ManagedOptions.Supervisor.
+type SupervisorConfig = engine.SupervisorConfig
+
+// WithDeadline wraps any Solver with cooperative cancellation: the solve
+// aborts at the wall deadline or node budget (whichever first; zero disables
+// either) and returns its best feasible incumbent with Stats.Aborted set.
+func WithDeadline(s Solver, wall time.Duration, nodes int64) Solver {
+	return solver.WithDeadline(s, wall, nodes)
+}
+
+// ChaosOptions, ChaosRow and ChaosReport belong to System.ChaosSoak, the
+// seeded randomized-fault soak harness behind `gpmsim chaos`: supervised
+// runs across policies × budgets checked by conformance, finiteness,
+// recovery and determinism invariant monitors. ChaosReport.Err() is non-nil
+// on any violation.
+type ChaosOptions = experiment.ChaosOptions
+type ChaosRow = experiment.ChaosRow
+type ChaosReport = experiment.ChaosReport
+
 // --- Observability: decision tracing, replay, diff (internal/obs) ----------
 
 // Observer receives one structured record per explore interval from the

@@ -65,6 +65,13 @@ type Options struct {
 	// obs.Collector keeps the trace in memory). Nil is the zero-overhead
 	// path.
 	Observer engine.Observer
+	// Supervisor, when non-nil, arms the engine's decision supervisor: the
+	// configured decider runs under a deadline/node budget with a graceful
+	// degradation ladder behind it, and every actuated vector passes a
+	// budget-conformance gate. Zero-value fields select defaults (the
+	// Predictor defaults to this run's predictor). Incompatible with Replay —
+	// replayed vectors must actuate verbatim.
+	Supervisor *engine.SupervisorConfig
 	// Replay, when non-nil, re-drives the simulation from a recorded trace:
 	// the recorded mode vectors and budgets replace the policy and the
 	// budget middleware, reproducing the recording run's Result
@@ -155,8 +162,27 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	cfg := lib.Config()
 	plan := lib.Plan()
 	replaying := opt.Replay != nil
+	if opt.Horizon < 0 {
+		return nil, &engine.OptionError{Component: "cmpsim", Field: "Horizon", Value: opt.Horizon, Reason: "must be non-negative"}
+	}
+	if opt.Guard != nil {
+		if err := opt.Guard.Validate(); err != nil {
+			return nil, &engine.OptionError{Component: "cmpsim", Field: "Guard", Value: "", Reason: err.Error()}
+		}
+	}
+	if replaying && opt.Supervisor != nil {
+		return nil, &engine.OptionError{Component: "cmpsim", Field: "Supervisor", Value: "non-nil",
+			Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
+	}
 	if opt.Policy == nil && opt.Solver != nil {
-		opt.Policy = core.SolverPolicy{Solver: opt.Solver}
+		sol := opt.Solver
+		// Under a supervisor deadline the solver itself becomes bounded: half
+		// the supervisor's wall budget, so a cooperative abort normally lands
+		// before the watchdog has to abandon the goroutine.
+		if s := opt.Supervisor; s != nil && (s.Deadline > 0 || s.NodeBudget > 0) {
+			sol = solver.WithDeadline(sol, s.Deadline/2, s.NodeBudget)
+		}
+		opt.Policy = core.SolverPolicy{Solver: sol}
 	}
 	if opt.Policy == nil && !replaying {
 		return nil, fmt.Errorf("cmpsim: no policy")
@@ -250,6 +276,13 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	} else {
 		eopt.Decider = engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard)
 		eopt.PolicyName = opt.Policy.Name()
+		if opt.Supervisor != nil {
+			sup := *opt.Supervisor
+			if sup.Predictor.Plan.NumModes() == 0 {
+				sup.Predictor = pred
+			}
+			eopt.Supervisor = &sup
+		}
 	}
 	return engine.Run(sub, eopt)
 }

@@ -87,19 +87,41 @@ func (p Predictor) scale(m modes.Mode) float64 {
 // observed sample. Completed cores predict zero power and zero instructions
 // in every mode.
 func (p Predictor) Matrices(current modes.Vector, samples []Sample) Matrices {
+	var mx Matrices
+	p.MatricesInto(&mx, current, samples)
+	return mx
+}
+
+// MatricesInto is the allocation-free form of Matrices: it fills mx in
+// place, reusing its rows when they already have the right shape (a fresh
+// flat backing array is laid out otherwise). The arithmetic is identical to
+// Matrices entry for entry, so the two forms are interchangeable
+// bit-for-bit; it exists for per-decision callers (the engine's decision
+// supervisor) that must not allocate in steady state.
+func (p Predictor) MatricesInto(mx *Matrices, current modes.Vector, samples []Sample) {
 	n := len(current)
 	if len(samples) != n {
 		panic(fmt.Sprintf("core: %d samples for %d cores", len(samples), n))
 	}
 	nm := p.Plan.NumModes()
-	mx := Matrices{
-		Power: make([][]float64, n),
-		Instr: make([][]float64, n),
+	if len(mx.Power) != n || len(mx.Instr) != n ||
+		(n > 0 && (len(mx.Power[0]) != nm || len(mx.Instr[0]) != nm)) {
+		backing := make([]float64, 2*n*nm)
+		mx.Power = make([][]float64, n)
+		mx.Instr = make([][]float64, n)
+		for c := 0; c < n; c++ {
+			mx.Power[c] = backing[2*c*nm : (2*c+1)*nm : (2*c+1)*nm]
+			mx.Instr[c] = backing[(2*c+1)*nm : (2*c+2)*nm : (2*c+2)*nm]
+		}
 	}
 	for c := 0; c < n; c++ {
-		mx.Power[c] = make([]float64, nm)
-		mx.Instr[c] = make([]float64, nm)
 		if samples[c].Done {
+			// Completed cores predict zero in every mode; rows may be reused,
+			// so zero them explicitly.
+			for m := 0; m < nm; m++ {
+				mx.Power[c][m] = 0
+				mx.Instr[c][m] = 0
+			}
 			continue
 		}
 		cur := current[c]
@@ -117,7 +139,6 @@ func (p Predictor) Matrices(current modes.Vector, samples []Sample) Matrices {
 			mx.Instr[c][m] = instr
 		}
 	}
-	return mx
 }
 
 // Context is everything a policy may consult for one decision.

@@ -1,6 +1,10 @@
 package core
 
-import "gpm/internal/modes"
+import (
+	"time"
+
+	"gpm/internal/modes"
+)
 
 // Decision is the uniform input of one explore-boundary step of a global
 // manager: everything the sense→predict→decide pipeline hands the manager,
@@ -23,6 +27,10 @@ type Decision struct {
 	Lookahead func(c int, m modes.Mode) (powerW, instr float64)
 	// MemBound ranks cores by memory-boundedness (§5.2.2); may be nil.
 	MemBound []float64
+	// Now is the simulated time at the explore boundary. The managers ignore
+	// it; the engine's decision supervisor uses it to align injected decision
+	// stalls (fault.SolverStall) with the simulated clock.
+	Now time.Duration
 }
 
 // StepDecision applies one decision through the plain manager.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"gpm/internal/modes"
@@ -57,6 +58,30 @@ func DefaultGuard() GuardConfig {
 		MaxCorePowerW:       500,
 		RescaleMismatchFrac: 0.10,
 	}
+}
+
+// Validate rejects configurations withDefaults would silently misread:
+// NaN/Inf float fields (NaN fails every threshold comparison, so a
+// NaN-tuned guard would neither default nor ever fire). The front ends call
+// it before building a guarded manager and wrap the error with their own
+// option context.
+func (c GuardConfig) Validate() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	switch {
+	case bad(c.OvershootFrac):
+		return fmt.Errorf("GuardConfig.OvershootFrac = %v: must be finite", c.OvershootFrac)
+	case bad(c.RecoverFrac):
+		return fmt.Errorf("GuardConfig.RecoverFrac = %v: must be finite", c.RecoverFrac)
+	case bad(c.EWMAAlpha):
+		return fmt.Errorf("GuardConfig.EWMAAlpha = %v: must be finite", c.EWMAAlpha)
+	case bad(c.ClampFactor):
+		return fmt.Errorf("GuardConfig.ClampFactor = %v: must be finite", c.ClampFactor)
+	case bad(c.MaxCorePowerW):
+		return fmt.Errorf("GuardConfig.MaxCorePowerW = %v: must be finite", c.MaxCorePowerW)
+	case bad(c.RescaleMismatchFrac):
+		return fmt.Errorf("GuardConfig.RescaleMismatchFrac = %v: must be finite", c.RescaleMismatchFrac)
+	}
+	return nil
 }
 
 func (c GuardConfig) withDefaults() GuardConfig {
@@ -177,6 +202,11 @@ func (r *ResilientManager) Dead(c int) bool { return r.dead[c] }
 
 // Current returns the mode vector currently in force.
 func (r *ResilientManager) Current() modes.Vector { return r.inner.Current() }
+
+// SetCurrent overrides the mode vector in force (used when an outer
+// supervisor actuates a vector the manager did not choose, so the next
+// interval's predictions are anchored to what actually ran).
+func (r *ResilientManager) SetCurrent(v modes.Vector) { r.inner.SetCurrent(v) }
 
 // Policy returns the wrapped policy.
 func (r *ResilientManager) Policy() Policy { return r.inner.Policy() }

@@ -18,7 +18,6 @@
 package engine
 
 import (
-	"fmt"
 	"time"
 
 	"gpm/internal/core"
@@ -124,19 +123,18 @@ type Options struct {
 	// Explore is the explore interval for accounting (recovery latency);
 	// zero derives DeltaSim × DeltasPerExplore.
 	Explore time.Duration
+	// Supervisor, when non-nil, wraps the Decider in the decision
+	// supervisor: deadline-bounded solving, the graceful-degradation ladder,
+	// and the budget-conformance gate (see SupervisorConfig). Nil — the
+	// default — is the exact pre-supervisor decision path, bit for bit.
+	Supervisor *SupervisorConfig
 }
 
 // Run executes the global-manager control loop on the substrate until the
 // horizon or the first program completion (§5.1).
 func Run(sub Substrate, opt Options) (*Result, error) {
-	if opt.Decider == nil {
-		return nil, fmt.Errorf("engine: no decider")
-	}
-	if opt.Budget == nil {
-		return nil, fmt.Errorf("engine: no budget function")
-	}
-	if opt.DeltaSim <= 0 || opt.DeltasPerExplore <= 0 {
-		return nil, fmt.Errorf("engine: delta-sim cadence unset (DeltaSim=%v, DeltasPerExplore=%d)", opt.DeltaSim, opt.DeltasPerExplore)
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
 	n := sub.NumCores()
 	deltaSec := opt.DeltaSim.Seconds()
@@ -148,6 +146,16 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 	stages := opt.Stages
 	if stages == nil {
 		stages = DefaultChain(opt.Budget, opt.ErrPrefix, inj, opt.Thermal)
+	}
+
+	// The decision supervisor, when armed, sits between the loop and the
+	// configured decider; everything downstream (facets included) talks to
+	// whichever decider is outermost.
+	decider := opt.Decider
+	if opt.Supervisor != nil {
+		sup := newSupervisor(*opt.Supervisor, opt.Decider, inj, n)
+		defer sup.stop()
+		decider = sup
 	}
 
 	res := &Result{
@@ -176,8 +184,9 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 
 	// Optional decider facets, resolved once so the loop pays only a nil
 	// check per decision.
-	emerg, _ := opt.Decider.(emergencyReporter)
-	cand, _ := opt.Decider.(candidateReporter)
+	emerg, _ := decider.(emergencyReporter)
+	cand, _ := decider.(candidateReporter)
+	supRep, _ := decider.(supervisionReporter)
 	obs := opt.Observer
 	var dt DecisionTrace // reused across intervals when observed
 
@@ -208,6 +217,7 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 
 	now := time.Duration(0)
 	done := false
+	degradedRun := 0 // current consecutive rung>0 episode, for LongestDegraded
 	for now < opt.Horizon && !done {
 		st := Step{Now: now, TrueSamples: samples, Samples: samples, ChipPowerW: chipMeasured}
 		if obs != nil {
@@ -243,16 +253,43 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 		if obs != nil {
 			t0 = time.Now()
 		}
-		next := opt.Decider.StepDecision(core.Decision{
+		next := decider.StepDecision(core.Decision{
 			BudgetW:    budget,
 			ChipPowerW: st.ChipPowerW,
 			Samples:    st.Samples,
 			Lookahead:  lookahead,
 			MemBound:   memBound,
+			Now:        now,
 		})
 		inEmergency := emerg != nil && emerg.InEmergency()
 		if inEmergency {
 			res.Obs.GuardOverrides++
+		}
+		var sup Supervision
+		if supRep != nil {
+			sup = supRep.LastSupervision()
+			res.Obs.SupervisorRungs[sup.Rung]++
+			if sup.Rejected {
+				res.Obs.ConformanceRejects++
+			}
+			if sup.Repaired {
+				res.Obs.ConformanceRepairs++
+			}
+			if sup.TimedOut {
+				res.Obs.DeadlineTimeouts++
+			}
+			if sup.Wedged {
+				res.Obs.WedgedDecisions++
+			}
+			if sup.Rung > 0 {
+				res.Obs.DegradedDecisions++
+				degradedRun++
+				if degradedRun > res.Obs.LongestDegraded {
+					res.Obs.LongestDegraded = degradedRun
+				}
+			} else {
+				degradedRun = 0
+			}
 		}
 		stall := opt.Plan.MaxTransitionBetween(current, next)
 		// Per-core stall power: the worst-case endpoint of the transition
@@ -286,6 +323,14 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 				GuardEmergency: inEmergency,
 				Stall:          stall,
 				DecideNs:       time.Since(t0).Nanoseconds(),
+			}
+			if supRep != nil {
+				dt.Supervised = true
+				dt.SupRung = sup.Rung
+				dt.SupRejected = sup.Rejected
+				dt.SupRepaired = sup.Repaired
+				dt.SupPredPowerW = sup.PredPowerW
+				dt.SupTimedOut = sup.TimedOut
 			}
 			if cand != nil {
 				if raw := cand.LastCandidate(); raw != nil && !raw.Equal(next) {
@@ -386,7 +431,7 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 	res.FinalSamples = append([]core.Sample(nil), samples...)
 	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, deltaSec)
 	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, deltaSec)
-	if st, guarded := opt.Decider.GuardStats(); guarded {
+	if st, guarded := decider.GuardStats(); guarded {
 		res.EmergencyEntries = st.EmergencyEntries
 		res.EmergencyIntervals = st.EmergencyIntervals
 		res.RecoveryLatency = time.Duration(st.LongestEmergency) * explore
@@ -394,7 +439,7 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
 		res.RescaledIntervals = st.RescaledIntervals
 	}
-	if ph, ok := opt.Decider.(policyHolder); ok {
+	if ph, ok := decider.(policyHolder); ok {
 		if nr, ok := ph.Policy().(nodeReporter); ok {
 			if nodes, counted := nr.SolveNodes(); counted {
 				res.Obs.SolverNodes = nodes

@@ -53,6 +53,24 @@ type DecisionTrace struct {
 	Stall time.Duration
 	// DecideNs is the wall-clock latency of the decider's StepDecision.
 	DecideNs int64
+	// Supervised reports the decision ran under the decision supervisor
+	// (Options.Supervisor); the Sup* fields below are meaningful only then.
+	Supervised bool
+	// SupRung is the degradation-ladder rung that produced Final: 0 the
+	// configured decider, 1 the shared greedy kernel, 2 the last-known-good
+	// vector refitted to the budget, 3 the uniform deepest-mode throttle.
+	SupRung int
+	// SupRejected reports the conformance gate rejected the rung-0 vector;
+	// SupRepaired reports Final was produced by greedy demotion repair.
+	SupRejected bool
+	SupRepaired bool
+	// SupPredPowerW is the supervisor's own predicted chip power for Final
+	// (the value the conformance gate compared against the budget).
+	SupPredPowerW float64
+	// SupTimedOut reports the watchdog abandoned the configured decider
+	// mid-solve this interval (wall-clock dependent, so excluded from
+	// deterministic trace fingerprints).
+	SupTimedOut bool
 }
 
 // Observer receives one DecisionTrace per explore interval and the completed
@@ -96,6 +114,24 @@ type ObsCounters struct {
 	// TraceRecords counts DecisionTraces emitted to the attached Observer
 	// (zero when tracing is off).
 	TraceRecords int
+	// SupervisorRungs counts decisions actuated per degradation-ladder rung
+	// (all zero without a supervisor; a healthy run lands on rung 0).
+	SupervisorRungs [4]int
+	// ConformanceRejects counts decisions whose rung-0 vector failed the
+	// budget-conformance gate; ConformanceRepairs counts the subset fixed in
+	// place by greedy demotion.
+	ConformanceRejects int
+	ConformanceRepairs int
+	// DeadlineTimeouts counts decisions the supervisor's watchdog abandoned
+	// mid-solve; WedgedDecisions counts decisions that skipped the configured
+	// decider entirely because an abandoned solve was still running.
+	DeadlineTimeouts int
+	WedgedDecisions  int
+	// DegradedDecisions counts decisions actuated from a rung above 0;
+	// LongestDegraded is the longest consecutive run of them in explore
+	// intervals — the supervisor's recovery-latency bound for the run.
+	DegradedDecisions int
+	LongestDegraded   int
 }
 
 // emergencyReporter is the optional Decider facet the engine polls for the
@@ -112,6 +148,15 @@ type nodeReporter interface{ SolveNodes() (int64, bool) }
 
 // policyHolder lets the engine reach the decider's policy for nodeReporter.
 type policyHolder interface{ Policy() core.Policy }
+
+// supervisionReporter is the Decider facet the engine polls for supervisor
+// accounting (satisfied by the internal decision supervisor).
+type supervisionReporter interface{ LastSupervision() Supervision }
+
+// currentSetter is the optional Decider facet the supervisor uses to
+// re-anchor the inner manager when it actuates a vector the manager did not
+// choose (satisfied by both core managers).
+type currentSetter interface{ SetCurrent(v modes.Vector) }
 
 // sameSamples reports whether two sample slices are the same backing array —
 // the cheap "did a stage replace the observation?" test.

@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"gpm/internal/engine"
+	"gpm/internal/obs"
+	"gpm/internal/workload"
+)
+
+// TestChaosSoakInvariants is the acceptance soak: ≥200 supervised decisions
+// across policies × budgets under seeded randomized fault schedules, with
+// zero invariant violations (conformance, finiteness, recovery, bit-identical
+// reruns — determinism is asserted per cell inside the soak itself).
+func TestChaosSoakInvariants(t *testing.T) {
+	e := env(t)
+	rep, err := e.ChaosSoak(workload.FourWay[0], ChaosOptions{
+		Seed:      7,
+		Runs:      2,
+		Intervals: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decisions < 200 {
+		t.Fatalf("soak covered %d decisions, want ≥ 200", rep.Decisions)
+	}
+	if err := rep.Err(); err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, h := range rep.RungHits {
+		sum += h
+	}
+	if sum != rep.Decisions {
+		t.Fatalf("rung hits sum to %d, decisions %d: every decision must land on exactly one rung", sum, rep.Decisions)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no per-cell rows")
+	}
+}
+
+// TestChaosSoakSeedStability pins that the soak derives every schedule from
+// (seed, cell identity) alone: two soaks with the same options but different
+// Parallel produce identical reports.
+func TestChaosSoakSeedStability(t *testing.T) {
+	e := env(t)
+	opts := ChaosOptions{Seed: 11, Runs: 1, Intervals: 8, Budgets: []float64{0.7}, SkipDeterminism: true}
+	a := opts
+	a.Parallel = 1
+	b := opts
+	b.Parallel = 4
+	ra, err := e.ChaosSoak(workload.FourWay[0], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.ChaosSoak(workload.FourWay[0], b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Decisions != rb.Decisions || ra.RungHits != rb.RungHits ||
+		ra.Rejects != rb.Rejects || ra.Repairs != rb.Repairs {
+		t.Fatalf("soak depends on Parallel: %+v vs %+v", ra, rb)
+	}
+}
+
+// TestChaosSoakFullsim exercises the cycle-level arm of the harness: a tiny
+// soak on both substrates must report fullsim rows and stay violation-free.
+func TestChaosSoakFullsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level soak in -short mode")
+	}
+	e := env(t)
+	rep, err := e.ChaosSoak(workload.FourWay[0], ChaosOptions{
+		Seed:             3,
+		Runs:             1,
+		Intervals:        6,
+		Budgets:          []float64{0.8},
+		Fullsim:          true,
+		FullsimIntervals: 4,
+		SkipDeterminism:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatal(err)
+	}
+	sawFull := false
+	for _, row := range rep.Rows {
+		if row.Substrate == "fullsim" {
+			sawFull = true
+			if row.Decisions == 0 {
+				t.Error("fullsim cell made no decisions")
+			}
+		}
+	}
+	if !sawFull {
+		t.Fatal("no fullsim rows in report")
+	}
+}
+
+// TestChaosScenarioShape sanity-checks the schedule generator: windows clear
+// by the reported time, the scenario validates, and permanent is set exactly
+// when run-wide or open-ended faults are present.
+func TestChaosScenarioShape(t *testing.T) {
+	horizon := 10 * time.Millisecond
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc, clear, permanent := chaosScenario(rng, seed, 4, horizon, true, time.Millisecond)
+		if err := sc.Validate(4); err != nil {
+			t.Fatalf("seed %d: invalid scenario: %v", seed, err)
+		}
+		if !sc.Enabled() {
+			t.Fatalf("seed %d: empty scenario", seed)
+		}
+		for _, sp := range sc.Spikes {
+			if end := sp.At + sp.Duration; end > clear {
+				t.Fatalf("seed %d: spike ends %v after reported clear %v", seed, end, clear)
+			}
+			if end := sp.At + sp.Duration; end > time.Duration(0.56*float64(horizon)) {
+				t.Fatalf("seed %d: spike window %v runs past 0.55·horizon", seed, end)
+			}
+		}
+		for _, st := range sc.Stalls {
+			if end := st.At + st.Duration; end > clear {
+				t.Fatalf("seed %d: stall ends %v after reported clear %v", seed, end, clear)
+			}
+		}
+		hasPermanent := sc.PowerNoiseSigma != 0 || sc.InstrNoiseSigma != 0 || sc.DropProb != 0 || len(sc.Stuck) > 0
+		if hasPermanent != permanent {
+			t.Fatalf("seed %d: permanent=%v but scenario says %v", seed, permanent, hasPermanent)
+		}
+	}
+}
+
+// TestChaosHistogram pins the fixed-bucket histogram used by the report.
+func TestChaosHistogram(t *testing.T) {
+	h := NewHistogram(1, 4, 16)
+	for _, x := range []float64{0.5, 1, 2, 4, 5, 100} {
+		h.Add(x)
+	}
+	want := []int{2, 2, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.N != 6 || h.Max != 100 {
+		t.Fatalf("N=%d Max=%v", h.N, h.Max)
+	}
+	o := NewHistogram(1, 4, 16)
+	o.Add(3)
+	h.Merge(o)
+	if h.N != 7 || h.Counts[1] != 3 {
+		t.Fatalf("merge: N=%d Counts=%v", h.N, h.Counts)
+	}
+}
+
+// traceWith builds a one-record supervised trace for monitor tests.
+func traceWith(t *testing.T, rung int, budgetW, predW float64, vector []int) *obs.Trace {
+	t.Helper()
+	return &obs.Trace{Records: []obs.Record{{
+		Interval:      0,
+		NowNs:         0,
+		BudgetW:       budgetW,
+		Vector:        vector,
+		Sup:           true,
+		SupRung:       rung,
+		SupPredPowerW: predW,
+	}}}
+}
+
+// resultN builds an empty finite Result wide enough for the monitors.
+func resultN(n int) *engine.Result {
+	return &engine.Result{PerCoreInstr: make([]float64, n)}
+}
+
+// TestChaosCheckCatchesViolations feeds the monitor hand-built traces and
+// results to prove each invariant actually fires.
+func TestChaosCheckCatchesViolations(t *testing.T) {
+	mkRep := func() *ChaosReport { return newChaosReport() }
+	// Conformance breach on a non-deepest vector.
+	rep := mkRep()
+	chaosCheck("x", 2, 0.02, 1000, 0, 8, false, traceWith(t, 0, 100, 110, []int{0, 0}), resultN(2), rep)
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0], "exceeds budget") {
+		t.Fatalf("conformance monitor did not fire: %v", rep.Violations)
+	}
+	// Same breach on the uniform-deepest floor is the documented exception.
+	rep = mkRep()
+	chaosCheck("x", 2, 0.02, 1000, 0, 8, false, traceWith(t, 3, 100, 110, []int{2, 2}), resultN(2), rep)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("deepest floor flagged: %v", rep.Violations)
+	}
+	// Recovery-bound miss: degraded rung long past fault clear.
+	rep = mkRep()
+	tr := traceWith(t, 1, 100, 90, []int{0, 0})
+	tr.Records[0].NowNs = 100_000
+	chaosCheck("x", 2, 0.02, 1000, 10_000, 8, false, tr, resultN(2), rep)
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0], "past fault clear") {
+		t.Fatalf("recovery monitor did not fire: %v", rep.Violations)
+	}
+	// Permanent faults waive the recovery bound.
+	rep = mkRep()
+	chaosCheck("x", 2, 0.02, 1000, 10_000, 8, true, tr, resultN(2), rep)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("recovery bound enforced despite permanent faults: %v", rep.Violations)
+	}
+}

@@ -50,6 +50,19 @@ type BudgetSpike struct {
 	Scale    float64
 }
 
+// SolverStall wedges the decision path: during [At, At+Duration) of
+// simulated time, every explore-boundary decision hangs for Hang of
+// wall-clock time — a wedged or grossly overloaded solver rather than a
+// sensor fault. The hang is consumed by the engine's decision supervisor
+// (whose watchdog deadline it is designed to trip); a run without a
+// supervisor does not model it.
+type SolverStall struct {
+	At       time.Duration
+	Duration time.Duration
+	// Hang is the injected wall-clock hang per decision.
+	Hang time.Duration
+}
+
 // Scenario is a declarative fault-injection plan. The zero value injects
 // nothing; cmpsim treats a nil or disabled scenario as the exact seed path.
 type Scenario struct {
@@ -81,6 +94,8 @@ type Scenario struct {
 	Deaths []CoreDeath
 	// Spikes lists transient budget excursions.
 	Spikes []BudgetSpike
+	// Stalls lists wedged-solver windows (decision-path hangs).
+	Stalls []SolverStall
 
 	// ThermalFailAt, when positive, freezes the thermal governor's budget
 	// reading at its last pre-failure value from that time onward (a dead
@@ -93,16 +108,20 @@ func (s Scenario) Enabled() bool {
 	return s.PowerNoiseSigma != 0 || s.InstrNoiseSigma != 0 ||
 		s.PowerGain != 0 || s.PowerDriftPerSec != 0 || s.DropProb != 0 ||
 		len(s.Stuck) > 0 || len(s.Deaths) > 0 || len(s.Spikes) > 0 ||
-		s.ThermalFailAt > 0
+		len(s.Stalls) > 0 || s.ThermalFailAt > 0
 }
 
 // Validate reports structural problems for an n-core chip.
 func (s Scenario) Validate(n int) error {
-	if s.PowerNoiseSigma < 0 || s.InstrNoiseSigma < 0 {
-		return fmt.Errorf("fault: negative noise sigma")
+	if s.PowerNoiseSigma < 0 || s.InstrNoiseSigma < 0 ||
+		math.IsNaN(s.PowerNoiseSigma) || math.IsNaN(s.InstrNoiseSigma) {
+		return fmt.Errorf("fault: negative or NaN noise sigma")
 	}
-	if s.DropProb < 0 || s.DropProb > 1 {
+	if !(s.DropProb >= 0 && s.DropProb <= 1) { // negated to also reject NaN
 		return fmt.Errorf("fault: drop probability %g outside [0,1]", s.DropProb)
+	}
+	if math.IsNaN(s.PowerGain) || math.IsNaN(s.PowerDriftPerSec) {
+		return fmt.Errorf("fault: NaN calibration gain or drift")
 	}
 	for _, f := range s.Stuck {
 		if f.Core < 0 || f.Core >= n {
@@ -115,11 +134,21 @@ func (s Scenario) Validate(n int) error {
 		}
 	}
 	for _, sp := range s.Spikes {
-		if sp.Scale < 0 {
-			return fmt.Errorf("fault: budget spike scale %g is negative", sp.Scale)
+		// A NaN or infinite scale would poison the budget series (and every
+		// downstream metric) rather than model a supply event.
+		if !(sp.Scale >= 0) || math.IsInf(sp.Scale, 0) {
+			return fmt.Errorf("fault: budget spike scale %g is not a finite non-negative number", sp.Scale)
 		}
 		if sp.Duration <= 0 {
 			return fmt.Errorf("fault: budget spike at %v has non-positive duration", sp.At)
+		}
+	}
+	for _, st := range s.Stalls {
+		if st.Duration <= 0 {
+			return fmt.Errorf("fault: solver stall at %v has non-positive duration", st.At)
+		}
+		if st.Hang <= 0 {
+			return fmt.Errorf("fault: solver stall at %v has non-positive hang", st.At)
 		}
 	}
 	return nil
@@ -217,6 +246,19 @@ func (in *Injector) ThermalFailed(now time.Duration) bool {
 	return in.sc.ThermalFailAt > 0 && now >= in.sc.ThermalFailAt
 }
 
+// DecisionHang returns the wall-clock hang injected into the decision path
+// at simulated time now — zero outside every stall window, the largest
+// active Hang inside one.
+func (in *Injector) DecisionHang(now time.Duration) time.Duration {
+	var hang time.Duration
+	for _, st := range in.sc.Stalls {
+		if now >= st.At && now < st.At+st.Duration && st.Hang > hang {
+			hang = st.Hang
+		}
+	}
+	return hang
+}
+
 // ParseScenario decodes the CLI fault specification: comma-separated
 // key=value fields, keys repeatable where noted.
 //
@@ -231,6 +273,9 @@ func (in *Injector) ThermalFailed(now time.Duration) bool {
 //	                    P may be "nan")
 //	death=C:AT          core C dies at AT (repeatable)
 //	spike=AT:DUR:SCALE  budget ×SCALE during [AT, AT+DUR) (repeatable)
+//	stall=AT:DUR:HANG   decisions hang for HANG wall-clock during
+//	                    [AT, AT+DUR) of simulated time (repeatable; needs
+//	                    the decision supervisor to have any effect)
 //	thermalfail=AT      thermal readings freeze at AT
 //
 // Durations use Go syntax (500us, 2ms). Example:
@@ -275,6 +320,10 @@ func ParseScenario(spec string) (Scenario, error) {
 			var sp BudgetSpike
 			sp, err = parseSpike(val)
 			sc.Spikes = append(sc.Spikes, sp)
+		case "stall":
+			var st SolverStall
+			st, err = parseStall(val)
+			sc.Stalls = append(sc.Stalls, st)
 		case "thermalfail":
 			sc.ThermalFailAt, err = time.ParseDuration(val)
 		default:
@@ -348,4 +397,24 @@ func parseSpike(s string) (BudgetSpike, error) {
 		return BudgetSpike{}, err
 	}
 	return BudgetSpike{At: at, Duration: dur, Scale: scale}, nil
+}
+
+func parseStall(s string) (SolverStall, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return SolverStall{}, fmt.Errorf("want AT:DUR:HANG")
+	}
+	at, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return SolverStall{}, err
+	}
+	dur, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return SolverStall{}, err
+	}
+	hang, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return SolverStall{}, err
+	}
+	return SolverStall{At: at, Duration: dur, Hang: hang}, nil
 }

@@ -188,3 +188,85 @@ func TestParseScenario(t *testing.T) {
 		t.Errorf("blank spec: %+v err %v", empty, err)
 	}
 }
+
+// TestSolverStallParseValidateHang covers the stall=AT:DUR:HANG injector:
+// spec parsing, Validate gating, window activity via DecisionHang, and
+// Enabled() visibility.
+func TestSolverStallParseValidateHang(t *testing.T) {
+	sc, err := ParseScenario("stall=4ms:1ms:500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolverStall{At: 4 * time.Millisecond, Duration: time.Millisecond, Hang: 500 * time.Microsecond}
+	if len(sc.Stalls) != 1 || sc.Stalls[0] != want {
+		t.Fatalf("stalls wrong: %+v", sc.Stalls)
+	}
+	if !sc.Enabled() {
+		t.Fatal("stall-only scenario reports disabled")
+	}
+	if err := sc.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"stall=4ms:1ms", "stall=4ms:1ms:1ms:1ms", "stall=x:1ms:1ms"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	for _, bad := range []Scenario{
+		{Stalls: []SolverStall{{At: 0, Duration: 0, Hang: time.Millisecond}}},
+		{Stalls: []SolverStall{{At: 0, Duration: time.Millisecond, Hang: 0}}},
+	} {
+		if err := bad.Validate(4); err == nil {
+			t.Errorf("invalid stall %+v accepted", bad.Stalls[0])
+		}
+	}
+
+	inj, err := NewInjector(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := inj.DecisionHang(3 * time.Millisecond); h != 0 {
+		t.Fatalf("hang before window: %v", h)
+	}
+	if h := inj.DecisionHang(4 * time.Millisecond); h != 500*time.Microsecond {
+		t.Fatalf("hang at window start: %v", h)
+	}
+	if h := inj.DecisionHang(5 * time.Millisecond); h != 0 {
+		t.Fatalf("hang at window end (exclusive): %v", h)
+	}
+
+	// Overlapping windows: the largest active hang wins.
+	multi := Scenario{Stalls: []SolverStall{
+		{At: 0, Duration: 2 * time.Millisecond, Hang: time.Millisecond},
+		{At: time.Millisecond, Duration: 2 * time.Millisecond, Hang: 3 * time.Millisecond},
+	}}
+	inj2, err := NewInjector(multi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := inj2.DecisionHang(1500 * time.Microsecond); h != 3*time.Millisecond {
+		t.Fatalf("overlapping windows: %v", h)
+	}
+}
+
+// TestScenarioValidateRejectsNonFinite pins the NaN/Inf hardening of the
+// scalar fault knobs: a corrupted scenario must fail loudly, not poison the
+// budget or sample series.
+func TestScenarioValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []Scenario{
+		{PowerNoiseSigma: nan},
+		{InstrNoiseSigma: nan},
+		{PowerGain: nan},
+		{PowerDriftPerSec: nan},
+		{DropProb: nan},
+		{Spikes: []BudgetSpike{{At: 0, Duration: time.Millisecond, Scale: nan}}},
+		{Spikes: []BudgetSpike{{At: 0, Duration: time.Millisecond, Scale: math.Inf(1)}}},
+		{Spikes: []BudgetSpike{{At: 0, Duration: time.Millisecond, Scale: -1}}},
+	}
+	for i, sc := range cases {
+		if err := sc.Validate(4); err == nil {
+			t.Errorf("case %d: non-finite scenario accepted: %+v", i, sc)
+		}
+	}
+}

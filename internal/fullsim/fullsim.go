@@ -103,6 +103,10 @@ func NewWithOptions(cfg config.Config, model power.Model, plan modes.Plan, bench
 	if n == 0 {
 		return nil, fmt.Errorf("fullsim: no benchmarks")
 	}
+	if opt.Workers < 0 {
+		return nil, &engine.OptionError{Component: "fullsim", Field: "Workers", Value: opt.Workers,
+			Reason: "must be non-negative (0 = GOMAXPROCS)"}
+	}
 	if v == nil {
 		v = modes.Uniform(n, modes.Turbo)
 	}
@@ -442,6 +446,10 @@ type ManagedOptions struct {
 	Thermal *thermal.Governor
 	Fault   *fault.Scenario
 	Guard   *core.GuardConfig
+	// Supervisor mirrors cmpsim.Options.Supervisor: arms the engine's
+	// decision supervisor (deadline-bounded solving, degradation ladder,
+	// conformance gate). Incompatible with Replay.
+	Supervisor *engine.SupervisorConfig
 	// Observer mirrors cmpsim.Options.Observer: one structured decision
 	// trace per explore interval (nil = zero overhead).
 	Observer engine.Observer
@@ -463,10 +471,19 @@ type ManagedOptions struct {
 func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
 	replaying := opt.Replay != nil
 	if opt.Policy == nil && !replaying {
-		return nil, fmt.Errorf("fullsim: no policy")
+		return nil, &engine.OptionError{Component: "fullsim", Field: "Policy", Value: nil, Reason: "required"}
 	}
 	if opt.Intervals <= 0 {
-		return nil, fmt.Errorf("fullsim: intervals must be positive, got %d", opt.Intervals)
+		return nil, &engine.OptionError{Component: "fullsim", Field: "Intervals", Value: opt.Intervals, Reason: "must be positive"}
+	}
+	if opt.Guard != nil {
+		if err := opt.Guard.Validate(); err != nil {
+			return nil, &engine.OptionError{Component: "fullsim", Field: "Guard", Value: "", Reason: err.Error()}
+		}
+	}
+	if replaying && opt.Supervisor != nil {
+		return nil, &engine.OptionError{Component: "fullsim", Field: "Supervisor", Value: "non-nil",
+			Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
 	}
 	budget := opt.Budget
 	if budget == nil {
@@ -513,6 +530,13 @@ func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
 	} else {
 		eopt.Decider = engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard)
 		eopt.PolicyName = opt.Policy.Name()
+		if opt.Supervisor != nil {
+			sup := *opt.Supervisor
+			if sup.Predictor.Plan.NumModes() == 0 {
+				sup.Predictor = pred
+			}
+			eopt.Supervisor = &sup
+		}
 	}
 	return engine.Run(newSubstrate(ch), eopt)
 }

@@ -125,6 +125,25 @@ func (t traceHasher) add(r *Record) {
 		w.f(0)
 	}
 	w.f(float64(r.StallNs))
+	// The supervisor block is hashed only when the record is supervised, so
+	// pre-schema-2 traces and unsupervised runs keep their exact historical
+	// fingerprints. SupTimedOut is wall-clock dependent and excluded — a
+	// deadline race must not change the trace fingerprint.
+	if r.Sup {
+		w.f(1)
+		w.f(float64(r.SupRung))
+		if r.SupRejected {
+			w.f(1)
+		} else {
+			w.f(0)
+		}
+		if r.SupRepaired {
+			w.f(1)
+		} else {
+			w.f(0)
+		}
+		w.f(r.SupPredPowerW)
+	}
 }
 
 func (t traceHasher) sum() uint64 { return t.w.sum() }

@@ -28,7 +28,7 @@ import (
 
 // SchemaVersion is the trace format version stamped into every Manifest.
 // Readers reject traces from a newer schema.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Line is the JSONL envelope: one per text line, kind-tagged, with exactly
 // one payload field populated.
@@ -128,6 +128,22 @@ type Record struct {
 	// DecideNs is the decider's wall-clock latency (excluded from
 	// fingerprints).
 	DecideNs int64 `json:"decide_ns,omitempty"`
+	// Sup reports the decision ran under the engine's decision supervisor
+	// (schema ≥ 2; absent in unsupervised runs and pre-supervisor traces).
+	// The remaining supervisor fields are meaningful only when it is set.
+	Sup bool `json:"sup,omitempty"`
+	// SupRung is the degradation-ladder rung that produced Vector (0 =
+	// configured decider, 1 = greedy kernel, 2 = last-known-good refit, 3 =
+	// uniform deepest throttle).
+	SupRung int `json:"sup_rung,omitempty"`
+	// SupRejected/SupRepaired record the conformance gate's work on this
+	// decision; SupPredPowerW is the gate's predicted chip power for Vector.
+	SupRejected   bool    `json:"sup_rejected,omitempty"`
+	SupRepaired   bool    `json:"sup_repaired,omitempty"`
+	SupPredPowerW float64 `json:"sup_pred_w,omitempty"`
+	// SupTimedOut reports the watchdog abandoned the configured decider this
+	// interval (wall-clock dependent, excluded from fingerprints).
+	SupTimedOut bool `json:"sup_timed_out,omitempty"`
 }
 
 // StageCount is one stage's override tally in the Footer.
@@ -155,18 +171,26 @@ type Footer struct {
 	// Guard accounting, folded from the resilient manager at run end. A
 	// ReplayDecider reports these as its own GuardStats so a replayed run
 	// reproduces the original Result's robustness fields bit-identically.
-	Guarded            bool   `json:"guarded,omitempty"`
-	EmergencyEntries   int    `json:"emergency_entries,omitempty"`
-	EmergencyIntervals int    `json:"emergency_intervals,omitempty"`
-	RecoveryLatencyNs  int64  `json:"recovery_latency_ns,omitempty"`
-	DeadCores          []int  `json:"dead_cores,omitempty"`
-	SanitizedSamples   int    `json:"sanitized_samples,omitempty"`
-	RescaledIntervals  int    `json:"rescaled_intervals,omitempty"`
+	Guarded            bool  `json:"guarded,omitempty"`
+	EmergencyEntries   int   `json:"emergency_entries,omitempty"`
+	EmergencyIntervals int   `json:"emergency_intervals,omitempty"`
+	RecoveryLatencyNs  int64 `json:"recovery_latency_ns,omitempty"`
+	DeadCores          []int `json:"dead_cores,omitempty"`
+	SanitizedSamples   int   `json:"sanitized_samples,omitempty"`
+	RescaledIntervals  int   `json:"rescaled_intervals,omitempty"`
 	// Observability counter snapshot (engine.Result.Obs).
 	Decisions      int          `json:"decisions"`
 	GuardOverrides int          `json:"guard_overrides,omitempty"`
 	SolverNodes    int64        `json:"solver_nodes,omitempty"`
 	StageOverrides []StageCount `json:"stage_overrides,omitempty"`
+	// Decision-supervisor counters (schema ≥ 2; all omitted without one).
+	SupervisorRungs    []int `json:"sup_rungs,omitempty"`
+	ConformanceRejects int   `json:"sup_conf_rejects,omitempty"`
+	ConformanceRepairs int   `json:"sup_conf_repairs,omitempty"`
+	DeadlineTimeouts   int   `json:"sup_timeouts,omitempty"`
+	WedgedDecisions    int   `json:"sup_wedged,omitempty"`
+	DegradedDecisions  int   `json:"sup_degraded,omitempty"`
+	LongestDegraded    int   `json:"sup_longest_degraded,omitempty"`
 }
 
 // Trace is a fully parsed trace: manifest, decision records in interval

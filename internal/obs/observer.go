@@ -55,6 +55,14 @@ func recordOf(t *engine.DecisionTrace) Record {
 			rec.Candidate[c] = int(m)
 		}
 	}
+	if t.Supervised {
+		rec.Sup = true
+		rec.SupRung = t.SupRung
+		rec.SupRejected = t.SupRejected
+		rec.SupRepaired = t.SupRepaired
+		rec.SupPredPowerW = t.SupPredPowerW
+		rec.SupTimedOut = t.SupTimedOut
+	}
 	return rec
 }
 
@@ -83,6 +91,21 @@ func footerOf(r *engine.Result, records int, traceFP uint64) *Footer {
 	}
 	for _, so := range r.Obs.StageOverrides {
 		f.StageOverrides = append(f.StageOverrides, StageCount{Stage: so.Stage, Count: so.Count})
+	}
+	supervised := false
+	for _, n := range r.Obs.SupervisorRungs {
+		if n > 0 {
+			supervised = true
+		}
+	}
+	if supervised {
+		f.SupervisorRungs = append([]int(nil), r.Obs.SupervisorRungs[:]...)
+		f.ConformanceRejects = r.Obs.ConformanceRejects
+		f.ConformanceRepairs = r.Obs.ConformanceRepairs
+		f.DeadlineTimeouts = r.Obs.DeadlineTimeouts
+		f.WedgedDecisions = r.Obs.WedgedDecisions
+		f.DegradedDecisions = r.Obs.DegradedDecisions
+		f.LongestDegraded = r.Obs.LongestDegraded
 	}
 	return f
 }
@@ -253,5 +276,22 @@ func CountersTable(o engine.ObsCounters) *report.Table {
 	t.AddRowf("guard-overrides", o.GuardOverrides)
 	t.AddRowf("solver-nodes", o.SolverNodes)
 	t.AddRowf("trace-records", o.TraceRecords)
+	supervised := false
+	for _, n := range o.SupervisorRungs {
+		if n > 0 {
+			supervised = true
+		}
+	}
+	if supervised {
+		for rung, n := range o.SupervisorRungs {
+			t.AddRowf(fmt.Sprintf("sup-rung[%d]", rung), n)
+		}
+		t.AddRowf("sup-conf-rejects", o.ConformanceRejects)
+		t.AddRowf("sup-conf-repairs", o.ConformanceRepairs)
+		t.AddRowf("sup-timeouts", o.DeadlineTimeouts)
+		t.AddRowf("sup-wedged", o.WedgedDecisions)
+		t.AddRowf("sup-degraded", o.DegradedDecisions)
+		t.AddRowf("sup-longest-degraded", o.LongestDegraded)
+	}
 	return t
 }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSchema1TraceStillDecodes pins backward compatibility: a literal
+// schema-1 JSONL stream (recorded before the supervisor fields existed) must
+// still parse — readers reject only schemas NEWER than theirs.
+func TestSchema1TraceStillDecodes(t *testing.T) {
+	old := strings.Join([]string{
+		`{"kind":"manifest","manifest":{"schema":1,"tool":"gpmsim","substrate":"cmpsim","policy":"MaxBIPS","cores":2,"delta_sim_ns":50000,"deltas_per_explore":10,"explore_ns":500000,"horizon_ns":3000000}}`,
+		`{"kind":"decision","decision":{"i":0,"now_ns":500000,"budget_w":45,"chip_w":40,"power_w":[20,20],"instr":[1000,900],"vector":[0,1],"stall_ns":0}}`,
+		`{"kind":"decision","decision":{"i":1,"now_ns":1000000,"budget_w":45,"chip_w":39,"power_w":[19.5,19.5],"instr":[1000,900],"vector":[1,1],"stall_ns":0}}`,
+		`{"kind":"footer","footer":{"records":2,"fingerprint":"0x0","trace_fingerprint":"0x0","elapsed_ns":1000000,"total_instr":3800,"energy_j":0.04,"decisions":2}}`,
+	}, "\n") + "\n"
+	tr, err := ReadTrace(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("schema-1 trace rejected by schema-%d reader: %v", SchemaVersion, err)
+	}
+	if len(tr.Records) != 2 || tr.Manifest.Schema != 1 {
+		t.Fatalf("parsed %d records, schema %d", len(tr.Records), tr.Manifest.Schema)
+	}
+	for _, r := range tr.Records {
+		if r.Sup || r.SupRung != 0 || r.SupRejected || r.SupRepaired {
+			t.Fatalf("schema-1 record decoded with supervisor fields set: %+v", r)
+		}
+	}
+}
+
+// TestSupervisedRecordRoundTrip pins the schema-2 codec: supervisor fields
+// survive WriteTrace → ReadTrace → WriteTrace byte-identically.
+func TestSupervisedRecordRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Manifest: testManifest(),
+		Records: []Record{{
+			Interval: 0, NowNs: 500_000, BudgetW: 45, ChipPowerW: 40,
+			PowerW: []float64{20, 20}, Instr: []float64{1000, 900}, Vector: []int{0, 1},
+			Sup: true, SupRung: 2, SupRejected: true, SupRepaired: true,
+			SupPredPowerW: 44.5, SupTimedOut: true,
+		}},
+	}
+	var b1 bytes.Buffer
+	if err := WriteTrace(&b1, tr); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTrace(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := parsed.Records[0]
+	if !r.Sup || r.SupRung != 2 || !r.SupRejected || !r.SupRepaired ||
+		r.SupPredPowerW != 44.5 || !r.SupTimedOut {
+		t.Fatalf("supervisor fields lost in round trip: %+v", r)
+	}
+	var b2 bytes.Buffer
+	if err := WriteTrace(&b2, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("supervised trace re-encode is not byte-identical")
+	}
+}
+
+// TestSupervisorFingerprintConditional pins the golden-compatibility rule:
+// unsupervised records hash exactly as they did pre-schema-2 (the zero-valued
+// supervisor fields contribute nothing), supervised records fold the rung and
+// gate outcome into the hash, and the wall-clock-dependent SupTimedOut flag
+// never affects it.
+func TestSupervisorFingerprintConditional(t *testing.T) {
+	base := Record{
+		Interval: 0, NowNs: 500_000, BudgetW: 45, ChipPowerW: 40,
+		PowerW: []float64{20, 20}, Instr: []float64{1000, 900}, Vector: []int{0, 1},
+	}
+	hash := func(r Record) uint64 {
+		return TraceFingerprint(&Trace{Records: []Record{r}})
+	}
+
+	plain := hash(base)
+	zeroSup := base // Sup=false but rung/pred fields incidentally zero anyway
+	zeroSup.SupPredPowerW = 0
+	if hash(zeroSup) != plain {
+		t.Fatal("unsupervised record hash changed by zero supervisor fields")
+	}
+
+	sup := base
+	sup.Sup = true
+	sup.SupRung = 1
+	sup.SupPredPowerW = 44
+	supHash := hash(sup)
+	if supHash == plain {
+		t.Fatal("supervised record hashes identically to unsupervised")
+	}
+	bumped := sup
+	bumped.SupRung = 2
+	if hash(bumped) == supHash {
+		t.Fatal("SupRung change did not change the trace fingerprint")
+	}
+	timed := sup
+	timed.SupTimedOut = true
+	if hash(timed) != supHash {
+		t.Fatal("SupTimedOut (wall-clock-dependent) leaked into the trace fingerprint")
+	}
+}

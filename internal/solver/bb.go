@@ -151,6 +151,13 @@ func (f *frontier) bound(in Instance, c int, usedP, usedI float64) float64 {
 
 // Solve implements Solver.
 func (b *BB) Solve(in Instance) (modes.Vector, Stats) {
+	return b.SolveBounded(in, nil)
+}
+
+// SolveBounded implements Bounded. Branch nodes are charged to the
+// checkpoint in cpBatch batches; an exhausted checkpoint stops the DFS at
+// its incumbent, exactly like an exceeded NodeLimit.
+func (b *BB) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: b.Name(), Exact: true}
 	n := in.NumCores()
@@ -164,12 +171,12 @@ func (b *BB) Solve(in Instance) (modes.Vector, Stats) {
 	// Greedy incumbent seed. In LexTies mode the seed only tightens the
 	// pruning floor — the incumbent vector must be discovered by the lex
 	// DFS itself, or a greedy optimum could shadow a lex-smaller tie.
-	gv, _ := greedySolve(in)
+	gv, _ := greedySolve(in, cp)
 	gp := in.VectorPower(gv)
 	gt := in.VectorInstr(gv)
 	seedFeasible := gp <= in.BudgetW
 
-	s := &bbState{in: in, f: f, limit: b.NodeLimit, lexTies: b.LexTies}
+	s := &bbState{in: in, f: f, limit: b.NodeLimit, lexTies: b.LexTies, cp: cp}
 	s.bestT, s.bestP = -1, 0
 	if seedFeasible {
 		s.floor = gt
@@ -186,6 +193,7 @@ func (b *BB) Solve(in Instance) (modes.Vector, Stats) {
 
 	st.Nodes, st.Pruned = s.nodes, s.pruned
 	st.Exact = !s.aborted
+	st.Aborted = cp.Aborted()
 	st.Elapsed = time.Since(start)
 	if !s.have {
 		if seedFeasible {
@@ -201,6 +209,7 @@ type bbState struct {
 	f       *frontier
 	limit   int64
 	lexTies bool
+	cp      *Checkpoint
 
 	v            modes.Vector
 	best         modes.Vector
@@ -210,6 +219,7 @@ type bbState struct {
 	nodes        int64
 	pruned       int64
 	aborted      bool
+	cpDebt       int64
 }
 
 func (s *bbState) rec(c int, usedP, usedI float64) {
@@ -220,6 +230,17 @@ func (s *bbState) rec(c int, usedP, usedI float64) {
 	if s.limit > 0 && s.nodes > s.limit {
 		s.aborted = true
 		return
+	}
+	if s.cp != nil {
+		s.cpDebt++
+		if s.cpDebt >= cpBatch {
+			debt := s.cpDebt
+			s.cpDebt = 0
+			if s.cp.Visit(debt) {
+				s.aborted = true
+				return
+			}
+		}
 	}
 	in := s.in
 	if c == in.NumCores() {

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // BenchmarkSolver times every solver across chip widths; `make bench-json`
@@ -28,6 +29,39 @@ func BenchmarkSolver(b *testing.B) {
 				b.ReportMetric(float64(st.Nodes), "nodes/op")
 			})
 		}
+	}
+}
+
+// BenchmarkDeadlineSolver measures the cooperative-cancellation overhead:
+// each solver bare vs under a transparent (zero-budget) Deadline wrapper vs
+// under an armed wall deadline generous enough never to fire. The armed rows
+// price the checkpoint charging in the hot loops; `make bench-json` emits
+// them into BENCH_solver.json next to the bare rows.
+func BenchmarkDeadlineSolver(b *testing.B) {
+	for _, name := range Names() {
+		s, err := New(name, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 16
+		in := randInstance(int64(n), n, plan3(), 0.8)
+		b.Run(fmt.Sprintf("%s/bare", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Solve(in)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/wrapped", name), func(b *testing.B) {
+			d := WithDeadline(s, 0, 0)
+			for i := 0; i < b.N; i++ {
+				d.Solve(in)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/armed", name), func(b *testing.B) {
+			d := WithDeadline(s, time.Hour, 1<<60)
+			for i := 0; i < b.N; i++ {
+				d.Solve(in)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,14 @@ func (d *DP) defaultQuantum(in Instance) float64 {
 
 // Solve implements Solver.
 func (d *DP) Solve(in Instance) (modes.Vector, Stats) {
+	return d.SolveBounded(in, nil)
+}
+
+// SolveBounded implements Bounded. The checkpoint is consulted once per
+// core row of the table (each row is (budget/quantum+1) × modes cells); an
+// aborted solve discards the partial table and returns the greedy answer
+// with GapBound 1 — the same anytime fallback the degenerate cases use.
+func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: d.Name()}
 	n, m := in.NumCores(), in.NumModes()
@@ -59,9 +67,10 @@ func (d *DP) Solve(in Instance) (modes.Vector, Stats) {
 	if q <= 0 || m > 256 {
 		// Degenerate budget (≤ 0) or a plan too wide for the uint8
 		// reconstruction table: fall back to greedy.
-		v, nodes := greedySolve(in)
+		v, nodes := greedySolve(in, cp)
 		st.Nodes = nodes
 		st.GapBound = 1
+		st.Aborted = cp.Aborted()
 		st.Elapsed = time.Since(start)
 		return v, st
 	}
@@ -86,6 +95,17 @@ func (d *DP) Solve(in Instance) (modes.Vector, Stats) {
 	ndp := make([]float64, W+1)
 	choice := make([][]uint8, n)
 	for c := 0; c < n; c++ {
+		if cp.Visit(int64(W+1) * int64(m)) {
+			// Deadline hit mid-table: the partial table is useless, so fall
+			// back to the anytime greedy answer (run unbounded — it is the
+			// cheap kernel the caller's own fallback ladder would use).
+			v, nodes := greedySolve(in, nil)
+			st.Nodes = int64(c)*int64(W+1)*int64(m) + nodes
+			st.GapBound = 1
+			st.Aborted = true
+			st.Elapsed = time.Since(start)
+			return v, st
+		}
 		choice[c] = make([]uint8, W+1)
 		for w := 0; w <= W; w++ {
 			best, bm := negInf, -1
@@ -118,7 +138,7 @@ func (d *DP) Solve(in Instance) (modes.Vector, Stats) {
 	ub := f.bound(in, 0, 0, 0)
 	st.UpperBoundInstr = ub
 
-	gv, _ := greedySolve(in)
+	gv, _ := greedySolve(in, nil)
 	gp := in.VectorPower(gv)
 	gt := in.VectorInstr(gv)
 

@@ -30,6 +30,13 @@ func (*Exhaustive) Name() string { return "exhaustive" }
 
 // Solve implements Solver.
 func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
+	return e.SolveBounded(in, nil)
+}
+
+// SolveBounded implements Bounded. All shards charge nodes to the shared
+// checkpoint; an aborted solve merges whatever the shards found before the
+// cut (feasible, or the all-deepest floor if nothing feasible was seen).
+func (e *Exhaustive) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
 	n, m := in.NumCores(), in.NumModes()
 	st := Stats{Solver: e.Name(), Exact: true}
@@ -42,9 +49,10 @@ func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
 	total := int64(1)
 	for c := 0; c < n; c++ {
 		if total > maxEnumerable/int64(m) {
-			v, nodes := greedySolve(in)
+			v, nodes := greedySolve(in, cp)
 			st.Exact = false
 			st.Nodes = nodes
+			st.Aborted = cp.Aborted()
 			st.Elapsed = time.Since(start)
 			return v, st
 		}
@@ -69,10 +77,11 @@ func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
 	st.Workers = workers
 
 	type shardBest struct {
-		found bool
-		t, p  float64
-		v     modes.Vector
-		nodes int64
+		found   bool
+		t, p    float64
+		v       modes.Vector
+		nodes   int64
+		aborted bool
 	}
 	results := make([]shardBest, workers)
 	var wg sync.WaitGroup
@@ -82,7 +91,7 @@ func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			results[w] = enumerateRange(in, depth, lo, hi)
+			results[w] = enumerateRange(in, depth, lo, hi, cp)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -95,6 +104,10 @@ func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
 	found := false
 	for _, r := range results {
 		st.Nodes += r.nodes
+		if r.aborted {
+			st.Aborted = true
+			st.Exact = false
+		}
 		if !r.found {
 			continue
 		}
@@ -110,16 +123,20 @@ func (e *Exhaustive) Solve(in Instance) (modes.Vector, Stats) {
 
 // enumerateRange scores every vector whose first `depth` cores decode the
 // prefix indices in [lo, hi); suffix cores run a full odometer. Vectors are
-// visited in lexicographic order within the range.
-func enumerateRange(in Instance, depth int, lo, hi int64) (out struct {
-	found bool
-	t, p  float64
-	v     modes.Vector
-	nodes int64
+// visited in lexicographic order within the range. Nodes are charged to the
+// checkpoint in cpBatch batches; an exhausted checkpoint stops the shard at
+// its current best.
+func enumerateRange(in Instance, depth int, lo, hi int64, cp *Checkpoint) (out struct {
+	found   bool
+	t, p    float64
+	v       modes.Vector
+	nodes   int64
+	aborted bool
 }) {
 	n, m := in.NumCores(), in.NumModes()
 	v := make(modes.Vector, n)
 	best := make(modes.Vector, n)
+	var cpDebt int64
 	for pi := lo; pi < hi; pi++ {
 		// Decode the prefix, most-significant digit first (core 0).
 		rem := pi
@@ -132,6 +149,17 @@ func enumerateRange(in Instance, depth int, lo, hi int64) (out struct {
 		}
 		for {
 			out.nodes++
+			if cp != nil {
+				cpDebt++
+				if cpDebt >= cpBatch {
+					if cp.Visit(cpDebt) {
+						out.aborted = true
+						out.v = best
+						return out
+					}
+					cpDebt = 0
+				}
+			}
 			p := in.VectorPower(v)
 			if p <= in.BudgetW {
 				t := in.VectorInstr(v)

@@ -57,6 +57,14 @@ func (h *Hier) inner() Solver {
 
 // Solve implements Solver.
 func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
+	return h.SolveBounded(in, nil)
+}
+
+// SolveBounded implements Bounded. The checkpoint is shared by the demand
+// pass, every concurrent cluster solve (when Inner is Bounded), and the
+// rebalance rounds; an exhausted checkpoint returns the best chip-feasible
+// vector assembled so far, falling back to the greedy demand vector.
+func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: h.Name()}
 	n := in.NumCores()
@@ -68,7 +76,7 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 	k := h.clusterSize()
 	inner := h.inner()
 	if k >= n {
-		v, ist := inner.Solve(in)
+		v, ist := SolveBounded(inner, in, cp)
 		ist.Solver = st.Solver
 		ist.Elapsed = time.Since(start)
 		return v, ist
@@ -95,8 +103,15 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 	}
 
 	// Global level: greedy demand shares plus an even headroom split.
-	gv, gnodes := greedySolve(in)
+	gv, gnodes := greedySolve(in, cp)
 	st.Nodes += gnodes
+	if cp.Aborted() {
+		// No time for the two-level decomposition: the (possibly partial)
+		// greedy vector is feasible whenever anything is.
+		st.Aborted = true
+		st.Elapsed = time.Since(start)
+		return gv, st
+	}
 	shares := make([]float64, len(clusters))
 	var demand float64
 	for i, cl := range clusters {
@@ -141,7 +156,7 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 		go func(i int) {
 			defer wg.Done()
 			s := sub(i, shares[i])
-			v, ist := inner.Solve(s)
+			v, ist := SolveBounded(inner, s, cp)
 			copy(out[clusters[i].lo:clusters[i].hi], v)
 			used[i] = s.VectorPower(v)
 			nodes[i] = ist.Nodes
@@ -161,15 +176,18 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 		passes = 2
 	}
 	eps := in.budgetEps()
-	for pass := 0; pass < passes; pass++ {
+	for pass := 0; pass < passes && !cp.Aborted(); pass++ {
 		improved := false
 		for i := range clusters {
+			if cp.Aborted() {
+				break
+			}
 			slack := in.BudgetW - spent
 			if slack <= eps {
 				break
 			}
 			s := sub(i, used[i]+slack)
-			v, ist := inner.Solve(s)
+			v, ist := SolveBounded(inner, s, cp)
 			st.Nodes += ist.Nodes
 			p := s.VectorPower(v)
 			if p != used[i] {
@@ -197,6 +215,7 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 	if in.VectorPower(out) > in.BudgetW {
 		out = gv
 	}
+	st.Aborted = cp.Aborted()
 	st.Elapsed = time.Since(start)
 	return out, st
 }

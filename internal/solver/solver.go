@@ -118,6 +118,11 @@ type Stats struct {
 	Workers int
 	// Elapsed is the wall-clock duration of the Solve call.
 	Elapsed time.Duration
+	// Aborted reports that the solve was cut short by a Checkpoint (wall
+	// deadline, node budget, or external abort). The returned vector is the
+	// best incumbent found before the cut — still feasible whenever any
+	// feasible vector was seen — and Exact is false.
+	Aborted bool
 }
 
 // Solver is one budgeted mode-allocation algorithm. Implementations must be
@@ -177,14 +182,23 @@ func (Greedy) Name() string { return "greedy" }
 
 // Solve implements Solver.
 func (g Greedy) Solve(in Instance) (modes.Vector, Stats) {
+	return g.SolveBounded(in, nil)
+}
+
+// SolveBounded implements Bounded.
+func (g Greedy) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
-	v, nodes := greedySolve(in)
-	return v, Stats{Solver: g.Name(), Nodes: nodes, Elapsed: time.Since(start)}
+	v, nodes := greedySolve(in, cp)
+	st := Stats{Solver: g.Name(), Nodes: nodes, Elapsed: time.Since(start)}
+	st.Aborted = cp.Aborted()
+	return v, st
 }
 
 // greedySolve is the shared greedy kernel; BB seeds its incumbent and Hier
-// derives its demand shares from it.
-func greedySolve(in Instance) (modes.Vector, int64) {
+// derives its demand shares from it. The checkpoint is consulted once per
+// upgrade pass; an aborted pass returns the vector built so far, which is
+// feasible by construction (upgrades are only applied when they fit).
+func greedySolve(in Instance, cp *Checkpoint) (modes.Vector, int64) {
 	n := in.NumCores()
 	v := in.deepestVector()
 	power := in.VectorPower(v)
@@ -193,6 +207,7 @@ func greedySolve(in Instance) (modes.Vector, int64) {
 		return v, nodes // even the floor exceeds the budget
 	}
 	for {
+		passStart := nodes
 		bestCore := -1
 		bestRatio := -1.0
 		var bestDP float64
@@ -218,6 +233,9 @@ func greedySolve(in Instance) (modes.Vector, int64) {
 				bestCore = c
 				bestDP = dp
 			}
+		}
+		if cp.Visit(nodes - passStart) {
+			return v, nodes
 		}
 		if bestCore < 0 {
 			return v, nodes
