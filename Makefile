@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json golden fuzz chaos
+.PHONY: all build vet test race check bench-json golden fuzz chaos fleet
 
 all: check
 
@@ -42,6 +42,9 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem ./internal/experiment ) \
 		| $(GO) run ./cmd/benchjson > BENCH_fullsim.json
 	@echo wrote BENCH_fullsim.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control
 # loop AND its decision traces bit-identical (TestGoldenControlLoop,
@@ -59,6 +62,12 @@ golden:
 # -runs/-intervals (and -fullsim) is the long-form soak.
 chaos: build
 	$(GO) run ./cmd/gpmsim -seed 7 -runs 1 -intervals 12 chaos
+
+# Datacenter-tier smoke: the 8-chip facility-capped serving scenario with a
+# mid-run cap cut, plus the throughput/SLO-vs-cap sweep (`gpmsim fleet`).
+# Deterministic for any -workers value; the fleet golden test pins the digest.
+fleet: build
+	$(GO) run ./cmd/gpmsim -quick -workers 4 fleet
 
 # Short coverage-guided fuzz of the trace codec beyond the checked-in seed
 # corpus (testdata/fuzz/...); the seeds themselves run as part of `make test`.

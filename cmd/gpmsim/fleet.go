@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gpm/internal/experiment"
+	"gpm/internal/fleet"
+	"gpm/internal/report"
+	"gpm/internal/workload"
+)
+
+// fleetCmd runs the datacenter-tier demo: an 8-chip facility serving two
+// client cohorts under a facility power cap that is cut mid-run, followed by
+// a throughput/SLO-vs-cap sweep. The scenario is seeded and bit-identical
+// for every -workers value.
+func fleetCmd(env *experiment.Env) error {
+	horizon := 20 * time.Millisecond
+	if *flagQuick {
+		horizon = 10 * time.Millisecond
+	}
+	cfg := fleet.Config{
+		Chips:   8,
+		Combo:   workload.FourWay[0],
+		Horizon: horizon,
+		Seed:    *flagSeed,
+		Workers: *flagWorkers,
+		// The offered load sits at ~80% of the fleet's all-Turbo instruction
+		// capacity, so per-chip budgets shape queueing: caps the arbiter can
+		// meet at Turbo serve cleanly, tighter caps push chips into deeper
+		// DVFS levels and latency visibly degrades.
+		Cohorts: []fleet.Cohort{
+			{
+				Name: "interactive", Clients: 16, Process: "poisson",
+				RatePerClient: 3000, CostInstr: 2e5, SLO: 2 * time.Millisecond,
+				DiurnalAmp: 0.3, DiurnalPeriod: horizon,
+			},
+			{
+				Name: "batch", Clients: 8, Process: "gamma", Shape: 2,
+				RatePerClient: 1200, CostInstr: 1e6, SLO: horizon / 2,
+				DiurnalPhase: 0.5,
+			},
+		},
+	}
+
+	// Resolve the facility envelope from the all-Turbo baseline so the cap cut
+	// can be stated in watts: 90% of Σ envelopes, cut to 65% at mid-run.
+	base, err := env.Baseline(cfg.Combo)
+	if err != nil {
+		return err
+	}
+	envelope := float64(cfg.Chips) * base.EnvelopePowerW()
+	cut := horizon / 2
+	cfg.FacilityCapW = func(now time.Duration) float64 {
+		if now < cut {
+			return 0.90 * envelope
+		}
+		return 0.65 * envelope
+	}
+
+	res, err := fleet.Run(env.Lib, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(fmt.Sprintf("Fleet: %d chips × %s, cap 90%% -> 65%% of %.0f W at %v",
+		res.Chips, cfg.Combo.ID, envelope, cut),
+		"cohort", "arrived", "completed", "shed", "SLO attainment", "p50 [ms]", "p95 [ms]", "p99 [ms]")
+	ms := func(s float64) string { return fmt.Sprintf("%.3f", s*1e3) }
+	for _, cs := range res.Cohorts {
+		t.AddRow(cs.Name, fmt.Sprintf("%d", cs.Arrived), fmt.Sprintf("%d", cs.Completed),
+			fmt.Sprintf("%d", cs.Shed), report.Pct(cs.Attainment),
+			ms(cs.Latency.P50), ms(cs.Latency.P95), ms(cs.Latency.P99))
+	}
+	emit(t)
+	fmt.Printf("throughput %.0f req/s, Jain fairness %.3f, avg facility power %.1f W (%d unfinished at horizon)\n\n",
+		res.ThroughputRPS, res.JainFairness, res.AvgFacilityPowerW, res.Unfinished)
+
+	// The cascade table shows the cap cut flowing into per-chip grants within
+	// one arbiter epoch.
+	ct := report.NewTable("Facility cap cascade: arbiter grants per epoch",
+		"epoch", "cap [W]", "Σ grants [W]", "min grant [W]", "max grant [W]")
+	for _, e := range res.EpochLog {
+		var sum float64
+		min, max := e.GrantW[0], e.GrantW[0]
+		for _, g := range e.GrantW {
+			sum += g
+			if g < min {
+				min = g
+			}
+			if g > max {
+				max = g
+			}
+		}
+		ct.AddRow(e.Start.String(), fmt.Sprintf("%.1f", e.FacilityCapW), fmt.Sprintf("%.1f", sum),
+			fmt.Sprintf("%.1f", min), fmt.Sprintf("%.1f", max))
+	}
+	emit(ct)
+	if !*flagCSV {
+		ts := report.NewTimeSeries("chip 0 engine budget [W] (cap cut lands mid-run)", "time →", 100)
+		ts.Add("budget", res.ChipResults[0].BudgetW)
+		fmt.Println(ts.String())
+	}
+
+	// Cap sweep: the fleet-level budget/degradation curve.
+	fracs := experiment.FleetCapFracs
+	if *flagQuick {
+		fracs = []float64{0.60, 0.80, 1.00}
+	}
+	sweepCfg := cfg
+	sweepCfg.FacilityCapW = nil
+	pts, err := env.FleetSweep(sweepCfg, fracs)
+	if err != nil {
+		return err
+	}
+	st := report.NewTable("Fleet sweep: serving outcome vs facility cap",
+		"cap", "cap [W]", "throughput [req/s]", "shed", "interactive SLO", "batch SLO", "Jain", "avg power [W]")
+	for _, p := range pts {
+		st.AddRow(report.Pct(p.CapFrac), fmt.Sprintf("%.1f", p.FacilityCapW),
+			fmt.Sprintf("%.0f", p.ThroughputRPS), report.Pct(p.ShedFrac),
+			report.Pct(p.Cohorts[0].Attainment), report.Pct(p.Cohorts[1].Attainment),
+			fmt.Sprintf("%.3f", p.JainFairness), fmt.Sprintf("%.1f", p.AvgFacilityPowerW))
+	}
+	emit(st)
+	return nil
+}

@@ -7,7 +7,7 @@
 //
 // Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 validate xcheck modecount explore scaleout transrate minpower
-// selectors thermal sched resilience scaling run all
+// selectors thermal sched resilience scaling fleet run all
 //
 // Examples:
 //
@@ -25,6 +25,7 @@
 //	gpmsim replay out.jsonl                           # re-drive the run from its trace
 //	gpmsim -trace pair -quick xcheck                  # also record pair.cmpsim/.fullsim.jsonl
 //	gpmsim tracediff pair.cmpsim.jsonl pair.fullsim.jsonl  # first diverging interval/core/field
+//	gpmsim -quick fleet                               # 8-chip facility: serving, cap-cut cascade, cap sweep
 package main
 
 import (
@@ -74,7 +75,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>... | replay <trace.jsonl> | tracediff <a.jsonl> <b.jsonl>")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience chaos scaling run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience chaos scaling fleet run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -213,6 +214,8 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return chaos(env)
 	case "scaling":
 		return solverScaling(env)
+	case "fleet":
+		return fleetCmd(env)
 	case "run":
 		return custom(env)
 	default:

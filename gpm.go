@@ -31,6 +31,7 @@ import (
 	"gpm/internal/engine"
 	"gpm/internal/experiment"
 	"gpm/internal/fault"
+	"gpm/internal/fleet"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
 	"gpm/internal/obs"
@@ -304,6 +305,53 @@ func ReplayResult(sys *System, t *Trace) (*Result, error) {
 	}
 	return cmpsim.Run(sys.Lib, combo, cmpsim.Options{Replay: t})
 }
+
+// --- Datacenter fleet tier (internal/fleet, DESIGN.md §12) ------------------
+
+// FleetConfig describes one fleet scenario: N managed chips, seeded open-loop
+// client cohorts (Poisson/Gamma/Weibull arrivals, SLO latency classes,
+// diurnal modulation), a placement policy with admission control, and a
+// facility power cap the arbiter redistributes across chips every epoch.
+// Runs are bit-identical for every Workers value.
+type FleetConfig = fleet.Config
+
+// FleetCohort is one client population: arrival process, request cost in
+// committed instructions, and SLO latency target.
+type FleetCohort = fleet.Cohort
+
+// FleetResult is a completed fleet scenario: throughput, per-cohort SLO
+// attainment and latency percentiles, Jain fairness over attainment, the
+// arbiter's per-epoch grant log, and every chip's engine Result.
+type FleetResult = fleet.Result
+
+// FleetCohortStats and FleetEpochStats are the per-cohort and per-epoch rows
+// of a FleetResult.
+type FleetCohortStats = fleet.CohortStats
+type FleetEpochStats = fleet.EpochStats
+
+// RunFleet drives one fleet scenario on the system's profile library.
+func RunFleet(sys *System, cfg FleetConfig) (*FleetResult, error) { return fleet.Run(sys.Lib, cfg) }
+
+// FleetFingerprint hashes a FleetResult bit-exactly — serving digest, epoch
+// log and per-chip engine fingerprints (the fleet golden-test hash).
+func FleetFingerprint(r *FleetResult) uint64 { return fleet.Fingerprint(r) }
+
+// FleetSweepPoint is one facility-cap operating point of System.FleetSweep,
+// the throughput/SLO-vs-cap sweep behind `gpmsim fleet`.
+type FleetSweepPoint = experiment.FleetSweepPoint
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over non-negative
+// allocations: 1 for perfect equality, 1/n for a single winner, 0 for empty
+// or invalid input.
+func JainFairness(xs []float64) float64 { return metrics.JainFairness(xs) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs with linear
+// interpolation, ignoring non-finite samples.
+func Percentile(xs []float64, p float64) float64 { return metrics.Percentile(xs, p) }
+
+// LatencyPercentiles bundles p50/p95/p99 (see SummarizeLatency in
+// internal/metrics).
+type LatencyPercentiles = metrics.LatencyPercentiles
 
 // Degradation returns 1 − policy/baseline committed instructions.
 func Degradation(policyInstr, baselineInstr float64) float64 {

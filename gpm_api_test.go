@@ -115,3 +115,41 @@ func TestPublicResilienceAPI(t *testing.T) {
 		t.Error("guarded run reports no interventions against a stuck sensor")
 	}
 }
+
+func TestPublicFleetAPI(t *testing.T) {
+	sys := gpm.NewSystem(4)
+	combo, err := gpm.FindWorkload("4w-ammp-mcf-crafty-art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpm.FleetConfig{
+		Chips:   2,
+		Combo:   combo,
+		Horizon: 10 * time.Millisecond,
+		Seed:    3,
+		Cohorts: []gpm.FleetCohort{
+			{Name: "svc", Clients: 8, RatePerClient: 1000, CostInstr: 2e5, SLO: 2 * time.Millisecond},
+			{Name: "batch", Clients: 4, Process: "gamma", RatePerClient: 400, CostInstr: 1e6, SLO: 10 * time.Millisecond},
+		},
+	}
+	res, err := gpm.RunFleet(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.ThroughputRPS <= 0 {
+		t.Fatalf("fleet served nothing: %+v", res)
+	}
+	again, err := gpm.RunFleet(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpm.FleetFingerprint(res) != gpm.FleetFingerprint(again) {
+		t.Error("identical fleet configs produced different fingerprints")
+	}
+	if f := gpm.JainFairness([]float64{1, 1, 1}); f != 1 {
+		t.Errorf("JainFairness of equal shares = %v, want 1", f)
+	}
+	if p := gpm.Percentile([]float64{1, 2, 3, 4}, 50); p != 2.5 {
+		t.Errorf("Percentile 50 = %v, want 2.5", p)
+	}
+}

@@ -159,19 +159,42 @@ func (s *substrate) MemBound() []float64 { return s.memBound }
 
 // Run simulates the combo under the given options.
 func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error) {
+	sub, eopt, err := build(lib, combo, opt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(sub, eopt)
+}
+
+// NewLoop resolves the options exactly as Run does but returns the steppable
+// engine loop instead of driving it to completion. The fleet tier steps one
+// loop per chip from a shared event clock, swapping each chip's budget
+// function target between steps. Callers own the loop: Finish (or Close on
+// an abandoned loop) is theirs to call.
+func NewLoop(lib *trace.Library, combo workload.Combo, opt Options) (*engine.Loop, error) {
+	sub, eopt, err := build(lib, combo, opt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(sub, eopt)
+}
+
+// build resolves Options into the substrate and engine options shared by Run
+// and NewLoop.
+func build(lib *trace.Library, combo workload.Combo, opt Options) (engine.Substrate, engine.Options, error) {
 	cfg := lib.Config()
 	plan := lib.Plan()
 	replaying := opt.Replay != nil
 	if opt.Horizon < 0 {
-		return nil, &engine.OptionError{Component: "cmpsim", Field: "Horizon", Value: opt.Horizon, Reason: "must be non-negative"}
+		return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "Horizon", Value: opt.Horizon, Reason: "must be non-negative"}
 	}
 	if opt.Guard != nil {
 		if err := opt.Guard.Validate(); err != nil {
-			return nil, &engine.OptionError{Component: "cmpsim", Field: "Guard", Value: "", Reason: err.Error()}
+			return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "Guard", Value: "", Reason: err.Error()}
 		}
 	}
 	if replaying && opt.Supervisor != nil {
-		return nil, &engine.OptionError{Component: "cmpsim", Field: "Supervisor", Value: "non-nil",
+		return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "Supervisor", Value: "non-nil",
 			Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
 	}
 	if opt.Policy == nil && opt.Solver != nil {
@@ -185,10 +208,10 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 		opt.Policy = core.SolverPolicy{Solver: sol}
 	}
 	if opt.Policy == nil && !replaying {
-		return nil, fmt.Errorf("cmpsim: no policy")
+		return nil, engine.Options{}, fmt.Errorf("cmpsim: no policy")
 	}
 	if opt.Budget == nil && !replaying {
-		return nil, fmt.Errorf("cmpsim: no budget function")
+		return nil, engine.Options{}, fmt.Errorf("cmpsim: no budget function")
 	}
 	if replaying {
 		// A manifest makes the trace self-contained: the recording run's
@@ -197,7 +220,7 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 			if opt.Fault == nil && m.FaultSpec != "" {
 				sc, err := fault.ParseScenario(m.FaultSpec)
 				if err != nil {
-					return nil, fmt.Errorf("cmpsim: replay: manifest fault spec: %w", err)
+					return nil, engine.Options{}, fmt.Errorf("cmpsim: replay: manifest fault spec: %w", err)
 				}
 				opt.Fault = &sc
 			}
@@ -208,14 +231,14 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	}
 	players, err := lib.Players(combo)
 	if err != nil {
-		return nil, err
+		return nil, engine.Options{}, err
 	}
 	n := len(players)
 	memBound := opt.MemBound
 	if memBound == nil {
 		memBound, err = MemBoundedness(lib, combo)
 		if err != nil {
-			return nil, err
+			return nil, engine.Options{}, err
 		}
 	}
 
@@ -231,7 +254,7 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	if opt.Fault != nil && opt.Fault.Enabled() {
 		inj, err = fault.NewInjector(*opt.Fault, n)
 		if err != nil {
-			return nil, err
+			return nil, engine.Options{}, err
 		}
 	}
 
@@ -261,7 +284,7 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 	if replaying {
 		dec, err := obs.NewReplayDecider(opt.Replay, cfg.Sim.Explore)
 		if err != nil {
-			return nil, err
+			return nil, engine.Options{}, err
 		}
 		eopt.Decider = dec
 		// The recorded budgets already fold the whole budget middleware
@@ -284,7 +307,7 @@ func Run(lib *trace.Library, combo workload.Combo, opt Options) (*Result, error)
 			eopt.Supervisor = &sup
 		}
 	}
-	return engine.Run(sub, eopt)
+	return sub, eopt, nil
 }
 
 // FixedBudget returns a constant budget function.

@@ -130,14 +130,73 @@ type Options struct {
 	Supervisor *SupervisorConfig
 }
 
-// Run executes the global-manager control loop on the substrate until the
-// horizon or the first program completion (§5.1).
-func Run(sub Substrate, opt Options) (*Result, error) {
+// Loop is one in-flight engine run, carved out of the monolithic Run so a
+// caller can interleave many runs on a shared event clock — the datacenter
+// fleet tier (internal/fleet) steps one Loop per chip, updating each chip's
+// budget between steps. New builds the loop (bootstrap probe included),
+// StepDelta advances exactly one delta-sim interval (running the explore-
+// boundary decision first when one is due), and Finish seals the accounting
+// and returns the Result. Run composes the three; both paths execute the
+// identical operation sequence, bit for bit (pinned by the cmpsim goldens).
+//
+// A Loop is single-goroutine: callers that step several loops concurrently
+// must keep each loop on one worker at a time.
+type Loop struct {
+	sub     Substrate
+	opt     Options
+	n       int
+	deltaSC float64
+	explore time.Duration
+	inj     *fault.Injector
+	stages  []Stage
+	decider Decider
+	sup     *supervisor // non-nil when the decision supervisor is armed
+	res     *Result
+
+	// Decider facets, resolved once so the loop pays only a nil check.
+	emerg  emergencyReporter
+	cand   candidateReporter
+	supRep supervisionReporter
+	obs    Observer
+
+	dt          DecisionTrace // reused across intervals when observed
+	stageTraces []StageTrace
+
+	current      modes.Vector
+	samples      []core.Sample
+	chipMeasured float64 // the independent chip-level (VRM) power sensor
+	lookahead    func(c int, m modes.Mode) (powerW, instr float64)
+	memBound     []float64
+
+	live          []bool
+	execE, execI  []float64
+	intervalPower []float64
+	intervalInstr []float64
+	stallPower    []float64
+
+	now         time.Duration
+	done        bool
+	degradedRun int // current consecutive rung>0 episode, for LongestDegraded
+
+	// Intra-interval cursor: d deltas of the current explore interval have
+	// run (0 = a decision is due), simmed of them were actually simulated.
+	d         int
+	simmed    int
+	budget    float64
+	stallLeft float64
+
+	closed   bool
+	finished bool
+}
+
+// New validates the options and builds a steppable loop: the substrate is
+// bootstrap-probed and the first decision is pending. Callers must Close the
+// loop (Finish does) — Run defers it.
+func New(sub Substrate, opt Options) (*Loop, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	n := sub.NumCores()
-	deltaSec := opt.DeltaSim.Seconds()
 	explore := opt.Explore
 	if explore == 0 {
 		explore = opt.DeltaSim * time.Duration(opt.DeltasPerExplore)
@@ -148,14 +207,23 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 		stages = DefaultChain(opt.Budget, opt.ErrPrefix, inj, opt.Thermal)
 	}
 
+	l := &Loop{
+		sub:     sub,
+		opt:     opt,
+		n:       n,
+		deltaSC: opt.DeltaSim.Seconds(),
+		explore: explore,
+		inj:     inj,
+		stages:  stages,
+	}
+
 	// The decision supervisor, when armed, sits between the loop and the
 	// configured decider; everything downstream (facets included) talks to
 	// whichever decider is outermost.
-	decider := opt.Decider
+	l.decider = opt.Decider
 	if opt.Supervisor != nil {
-		sup := newSupervisor(*opt.Supervisor, opt.Decider, inj, n)
-		defer sup.stop()
-		decider = sup
+		l.sup = newSupervisor(*opt.Supervisor, opt.Decider, inj, n)
+		l.decider = l.sup
 	}
 
 	res := &Result{
@@ -181,273 +249,355 @@ func Run(sub Substrate, opt Options) (*Result, error) {
 	res.CorePowerW = make([][]float64, 0, est)
 	res.CoreInstr = make([][]float64, 0, est)
 	res.Modes = make([]modes.Vector, 0, est/opt.DeltasPerExplore+1)
+	l.res = res
 
-	// Optional decider facets, resolved once so the loop pays only a nil
-	// check per decision.
-	emerg, _ := decider.(emergencyReporter)
-	cand, _ := decider.(candidateReporter)
-	supRep, _ := decider.(supervisionReporter)
-	obs := opt.Observer
-	var dt DecisionTrace // reused across intervals when observed
+	l.emerg, _ = l.decider.(emergencyReporter)
+	l.cand, _ = l.decider.(candidateReporter)
+	l.supRep, _ = l.decider.(supervisionReporter)
+	l.obs = opt.Observer
 
 	// Bootstrap sample: the local monitors report each core's behaviour at
 	// Turbo before the first decision; cores dead at t=0 report nothing.
-	current := modes.Uniform(n, modes.Turbo)
-	samples := sub.Bootstrap()
-	chipMeasured := 0.0 // the independent chip-level (VRM) power sensor
-	for c := range samples {
+	l.current = modes.Uniform(n, modes.Turbo)
+	l.samples = sub.Bootstrap()
+	for c := range l.samples {
 		if inj != nil && inj.CoreDead(c, 0) {
-			samples[c] = core.Sample{}
+			l.samples[c] = core.Sample{}
 		}
-		chipMeasured += samples[c].PowerW
+		l.chipMeasured += l.samples[c].PowerW
 	}
 
-	lookahead := sub.Lookahead()
-	memBound := sub.MemBound()
-	live := make([]bool, n)
-	execE := make([]float64, n)
-	execI := make([]float64, n)
-	intervalPower := make([]float64, n)
-	intervalInstr := make([]float64, n)
-	stallPower := make([]float64, n)
-	var stageTraces []StageTrace
+	l.lookahead = sub.Lookahead()
+	l.memBound = sub.MemBound()
+	l.live = make([]bool, n)
+	l.execE = make([]float64, n)
+	l.execI = make([]float64, n)
+	l.intervalPower = make([]float64, n)
+	l.intervalInstr = make([]float64, n)
+	l.stallPower = make([]float64, n)
+	if l.obs != nil {
+		l.stageTraces = make([]StageTrace, 0, len(stages))
+	}
+	return l, nil
+}
+
+// Now returns the loop's simulated time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Done reports that the loop has reached its horizon or a first program
+// completion (§5.1) and will make no further progress.
+func (l *Loop) Done() bool { return l.done || l.now >= l.opt.Horizon }
+
+// Result exposes the in-progress accounting: series grow as the loop steps.
+// Callers may read it between steps (the fleet tier drains per-delta
+// committed-instruction rows this way) but must not mutate it; Finish seals
+// and returns the same pointer.
+func (l *Loop) Result() *Result { return l.res }
+
+// decide runs the decision middleware chain and one explore-boundary
+// decision, arming the interval's stall accounting.
+func (l *Loop) decide() error {
+	res, obs, n := l.res, l.obs, l.n
+	st := Step{Now: l.now, TrueSamples: l.samples, Samples: l.samples, ChipPowerW: l.chipMeasured}
 	if obs != nil {
-		stageTraces = make([]StageTrace, 0, len(stages))
+		l.stageTraces = l.stageTraces[:0]
 	}
-
-	now := time.Duration(0)
-	done := false
-	degradedRun := 0 // current consecutive rung>0 episode, for LongestDegraded
-	for now < opt.Horizon && !done {
-		st := Step{Now: now, TrueSamples: samples, Samples: samples, ChipPowerW: chipMeasured}
-		if obs != nil {
-			stageTraces = stageTraces[:0]
-		}
-		for i, stage := range stages {
-			prevB := st.BudgetW
-			prevSamples := st.Samples
-			var t0 time.Time
-			if obs != nil {
-				t0 = time.Now()
-			}
-			if err := stage.Apply(&st); err != nil {
-				return nil, err
-			}
-			// The first stage seeds the budget; later stages that move it,
-			// or that swap the observation, overrode something upstream.
-			override := i > 0 && (st.BudgetW != prevB || !sameSamples(prevSamples, st.Samples))
-			if override {
-				res.Obs.StageOverrides[i].Count++
-			}
-			if obs != nil {
-				stageTraces = append(stageTraces, StageTrace{
-					Name:     res.Obs.StageOverrides[i].Stage,
-					BudgetW:  st.BudgetW,
-					Override: override,
-					DurNs:    time.Since(t0).Nanoseconds(),
-				})
-			}
-		}
-		budget := st.BudgetW
+	for i, stage := range l.stages {
+		prevB := st.BudgetW
+		prevSamples := st.Samples
 		var t0 time.Time
 		if obs != nil {
 			t0 = time.Now()
 		}
-		next := decider.StepDecision(core.Decision{
-			BudgetW:    budget,
-			ChipPowerW: st.ChipPowerW,
-			Samples:    st.Samples,
-			Lookahead:  lookahead,
-			MemBound:   memBound,
-			Now:        now,
-		})
-		inEmergency := emerg != nil && emerg.InEmergency()
-		if inEmergency {
-			res.Obs.GuardOverrides++
+		if err := stage.Apply(&st); err != nil {
+			return err
 		}
-		var sup Supervision
-		if supRep != nil {
-			sup = supRep.LastSupervision()
-			res.Obs.SupervisorRungs[sup.Rung]++
-			if sup.Rejected {
-				res.Obs.ConformanceRejects++
-			}
-			if sup.Repaired {
-				res.Obs.ConformanceRepairs++
-			}
-			if sup.TimedOut {
-				res.Obs.DeadlineTimeouts++
-			}
-			if sup.Wedged {
-				res.Obs.WedgedDecisions++
-			}
-			if sup.Rung > 0 {
-				res.Obs.DegradedDecisions++
-				degradedRun++
-				if degradedRun > res.Obs.LongestDegraded {
-					res.Obs.LongestDegraded = degradedRun
-				}
-			} else {
-				degradedRun = 0
-			}
-		}
-		stall := opt.Plan.MaxTransitionBetween(current, next)
-		// Per-core stall power: the worst-case endpoint of the transition
-		// (§5.1: execution halts, CPU power is still consumed). Skipped
-		// cores are zeroed explicitly: the buffer is reused across
-		// intervals, and finished/dead states are monotone, so a stale
-		// entry could otherwise never be read — but zero makes that local.
-		for c := 0; c < n; c++ {
-			if sub.Finished(c) || (inj != nil && inj.CoreDead(c, now)) {
-				stallPower[c] = 0
-				continue
-			}
-			pOld := sub.ModePowerW(c, current[c])
-			pNew := sub.ModePowerW(c, next[c])
-			if pOld > pNew {
-				stallPower[c] = pOld
-			} else {
-				stallPower[c] = pNew
-			}
+		// The first stage seeds the budget; later stages that move it,
+		// or that swap the observation, overrode something upstream.
+		override := i > 0 && (st.BudgetW != prevB || !sameSamples(prevSamples, st.Samples))
+		if override {
+			res.Obs.StageOverrides[i].Count++
 		}
 		if obs != nil {
-			dt = DecisionTrace{
-				Interval:       res.Obs.Decisions,
-				Now:            now,
-				BudgetW:        budget,
-				ChipPowerW:     st.ChipPowerW,
-				TrueSamples:    st.TrueSamples,
-				Samples:        st.Samples,
-				Stages:         stageTraces,
-				Final:          next,
-				GuardEmergency: inEmergency,
-				Stall:          stall,
-				DecideNs:       time.Since(t0).Nanoseconds(),
-			}
-			if supRep != nil {
-				dt.Supervised = true
-				dt.SupRung = sup.Rung
-				dt.SupRejected = sup.Rejected
-				dt.SupRepaired = sup.Repaired
-				dt.SupPredPowerW = sup.PredPowerW
-				dt.SupTimedOut = sup.TimedOut
-			}
-			if cand != nil {
-				if raw := cand.LastCandidate(); raw != nil && !raw.Equal(next) {
-					dt.Candidate = raw
-				}
-			}
-			obs.Decision(&dt)
-			res.Obs.TraceRecords++
-		}
-		res.Obs.Decisions++
-		current = next
-		res.Modes = append(res.Modes, current.Clone())
-		res.TransitionStall += stall
-
-		stallLeft := stall.Seconds()
-		for c := 0; c < n; c++ {
-			intervalPower[c] = 0
-			intervalInstr[c] = 0
-		}
-		simmed := 0 // deltas actually simulated; < DeltasPerExplore when truncated
-		for d := 0; d < opt.DeltasPerExplore && now < opt.Horizon; d++ {
-			simmed++
-			rowP := make([]float64, n)
-			rowI := make([]float64, n)
-			var chip float64
-			stl := stallLeft
-			if stl > deltaSec {
-				stl = deltaSec
-			}
-			stallLeft -= stl
-			exec := deltaSec - stl
-			for c := 0; c < n; c++ {
-				live[c] = !sub.Finished(c) && (inj == nil || !inj.CoreDead(c, now))
-				execE[c], execI[c] = 0, 0
-			}
-			if exec > 0 {
-				sub.DeltaStep(current, exec, live, execE, execI)
-			}
-			for c := 0; c < n; c++ {
-				var e, in float64
-				if live[c] {
-					e = stallPower[c] * stl
-					if exec > 0 {
-						e += execE[c]
-						in = execI[c]
-					}
-				}
-				rowP[c] = e / deltaSec
-				rowI[c] = in
-				chip += rowP[c]
-				intervalPower[c] += rowP[c]
-				intervalInstr[c] += in
-				res.PerCoreInstr[c] += in
-				res.TotalInstr += in
-				res.EnergyJ += e
-			}
-			if opt.Thermal != nil {
-				opt.Thermal.State().Step(rowP, opt.DeltaSim)
-				res.MaxTempC = append(res.MaxTempC, opt.Thermal.State().MaxTemp())
-			}
-			res.CorePowerW = append(res.CorePowerW, rowP)
-			res.CoreInstr = append(res.CoreInstr, rowI)
-			res.ChipPowerW = append(res.ChipPowerW, chip)
-			res.BudgetW = append(res.BudgetW, budget)
-			if chip > budget*(1+1e-9) {
-				res.OvershootIntervals++
-			}
-			now += opt.DeltaSim
-			// §5.1 termination: stop when the first benchmark completes.
-			for c := 0; c < n; c++ {
-				if sub.Finished(c) {
-					res.FirstCompleted = c
-					done = true
-				}
-			}
-			if done {
-				break
-			}
-		}
-		// Samples for the next decision: averages over the explore interval.
-		// A truncated interval (horizon hit or first-completion exit) must
-		// average over the deltas actually simulated, not the nominal count.
-		den := float64(simmed)
-		if den == 0 {
-			den = 1
-		}
-		chipMeasured = 0
-		for c := 0; c < n; c++ {
-			samples[c] = core.Sample{
-				PowerW: intervalPower[c] / den,
-				Instr:  intervalInstr[c],
-				Done:   sub.Finished(c),
-			}
-			chipMeasured += samples[c].PowerW
+			l.stageTraces = append(l.stageTraces, StageTrace{
+				Name:     res.Obs.StageOverrides[i].Stage,
+				BudgetW:  st.BudgetW,
+				Override: override,
+				DurNs:    time.Since(t0).Nanoseconds(),
+			})
 		}
 	}
-	res.Elapsed = now
-	res.FinalSamples = append([]core.Sample(nil), samples...)
-	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, deltaSec)
-	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, deltaSec)
-	if st, guarded := decider.GuardStats(); guarded {
+	l.budget = st.BudgetW
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
+	next := l.decider.StepDecision(core.Decision{
+		BudgetW:    l.budget,
+		ChipPowerW: st.ChipPowerW,
+		Samples:    st.Samples,
+		Lookahead:  l.lookahead,
+		MemBound:   l.memBound,
+		Now:        l.now,
+	})
+	inEmergency := l.emerg != nil && l.emerg.InEmergency()
+	if inEmergency {
+		res.Obs.GuardOverrides++
+	}
+	var sup Supervision
+	if l.supRep != nil {
+		sup = l.supRep.LastSupervision()
+		res.Obs.SupervisorRungs[sup.Rung]++
+		if sup.Rejected {
+			res.Obs.ConformanceRejects++
+		}
+		if sup.Repaired {
+			res.Obs.ConformanceRepairs++
+		}
+		if sup.TimedOut {
+			res.Obs.DeadlineTimeouts++
+		}
+		if sup.Wedged {
+			res.Obs.WedgedDecisions++
+		}
+		if sup.Rung > 0 {
+			res.Obs.DegradedDecisions++
+			l.degradedRun++
+			if l.degradedRun > res.Obs.LongestDegraded {
+				res.Obs.LongestDegraded = l.degradedRun
+			}
+		} else {
+			l.degradedRun = 0
+		}
+	}
+	stall := l.opt.Plan.MaxTransitionBetween(l.current, next)
+	// Per-core stall power: the worst-case endpoint of the transition
+	// (§5.1: execution halts, CPU power is still consumed). Skipped
+	// cores are zeroed explicitly: the buffer is reused across
+	// intervals, and finished/dead states are monotone, so a stale
+	// entry could otherwise never be read — but zero makes that local.
+	for c := 0; c < n; c++ {
+		if l.sub.Finished(c) || (l.inj != nil && l.inj.CoreDead(c, l.now)) {
+			l.stallPower[c] = 0
+			continue
+		}
+		pOld := l.sub.ModePowerW(c, l.current[c])
+		pNew := l.sub.ModePowerW(c, next[c])
+		if pOld > pNew {
+			l.stallPower[c] = pOld
+		} else {
+			l.stallPower[c] = pNew
+		}
+	}
+	if obs != nil {
+		l.dt = DecisionTrace{
+			Interval:       res.Obs.Decisions,
+			Now:            l.now,
+			BudgetW:        l.budget,
+			ChipPowerW:     st.ChipPowerW,
+			TrueSamples:    st.TrueSamples,
+			Samples:        st.Samples,
+			Stages:         l.stageTraces,
+			Final:          next,
+			GuardEmergency: inEmergency,
+			Stall:          stall,
+			DecideNs:       time.Since(t0).Nanoseconds(),
+		}
+		if l.supRep != nil {
+			l.dt.Supervised = true
+			l.dt.SupRung = sup.Rung
+			l.dt.SupRejected = sup.Rejected
+			l.dt.SupRepaired = sup.Repaired
+			l.dt.SupPredPowerW = sup.PredPowerW
+			l.dt.SupTimedOut = sup.TimedOut
+		}
+		if l.cand != nil {
+			if raw := l.cand.LastCandidate(); raw != nil && !raw.Equal(next) {
+				l.dt.Candidate = raw
+			}
+		}
+		obs.Decision(&l.dt)
+		res.Obs.TraceRecords++
+	}
+	res.Obs.Decisions++
+	l.current = next
+	res.Modes = append(res.Modes, l.current.Clone())
+	res.TransitionStall += stall
+
+	l.stallLeft = stall.Seconds()
+	for c := 0; c < n; c++ {
+		l.intervalPower[c] = 0
+		l.intervalInstr[c] = 0
+	}
+	l.simmed = 0 // deltas actually simulated; < DeltasPerExplore when truncated
+	return nil
+}
+
+// delta advances the substrate by one delta-sim interval in the current
+// vector, charging any remaining synchronized stall first.
+func (l *Loop) delta() {
+	res, n, deltaSec := l.res, l.n, l.deltaSC
+	l.simmed++
+	rowP := make([]float64, n)
+	rowI := make([]float64, n)
+	var chip float64
+	stl := l.stallLeft
+	if stl > deltaSec {
+		stl = deltaSec
+	}
+	l.stallLeft -= stl
+	exec := deltaSec - stl
+	for c := 0; c < n; c++ {
+		l.live[c] = !l.sub.Finished(c) && (l.inj == nil || !l.inj.CoreDead(c, l.now))
+		l.execE[c], l.execI[c] = 0, 0
+	}
+	if exec > 0 {
+		l.sub.DeltaStep(l.current, exec, l.live, l.execE, l.execI)
+	}
+	for c := 0; c < n; c++ {
+		var e, in float64
+		if l.live[c] {
+			e = l.stallPower[c] * stl
+			if exec > 0 {
+				e += l.execE[c]
+				in = l.execI[c]
+			}
+		}
+		rowP[c] = e / deltaSec
+		rowI[c] = in
+		chip += rowP[c]
+		l.intervalPower[c] += rowP[c]
+		l.intervalInstr[c] += in
+		res.PerCoreInstr[c] += in
+		res.TotalInstr += in
+		res.EnergyJ += e
+	}
+	if l.opt.Thermal != nil {
+		l.opt.Thermal.State().Step(rowP, l.opt.DeltaSim)
+		res.MaxTempC = append(res.MaxTempC, l.opt.Thermal.State().MaxTemp())
+	}
+	res.CorePowerW = append(res.CorePowerW, rowP)
+	res.CoreInstr = append(res.CoreInstr, rowI)
+	res.ChipPowerW = append(res.ChipPowerW, chip)
+	res.BudgetW = append(res.BudgetW, l.budget)
+	if chip > l.budget*(1+1e-9) {
+		res.OvershootIntervals++
+	}
+	l.now += l.opt.DeltaSim
+	// §5.1 termination: stop when the first benchmark completes.
+	for c := 0; c < n; c++ {
+		if l.sub.Finished(c) {
+			res.FirstCompleted = c
+			l.done = true
+		}
+	}
+}
+
+// foldSamples averages the finished explore interval into the samples the
+// next decision observes. A truncated interval (horizon hit or first-
+// completion exit) must average over the deltas actually simulated, not the
+// nominal count.
+func (l *Loop) foldSamples() {
+	den := float64(l.simmed)
+	if den == 0 {
+		den = 1
+	}
+	l.chipMeasured = 0
+	for c := 0; c < l.n; c++ {
+		l.samples[c] = core.Sample{
+			PowerW: l.intervalPower[c] / den,
+			Instr:  l.intervalInstr[c],
+			Done:   l.sub.Finished(c),
+		}
+		l.chipMeasured += l.samples[c].PowerW
+	}
+}
+
+// StepDelta advances the loop by exactly one delta-sim interval, running the
+// explore-boundary decision first when one is due. It returns true when the
+// loop has reached the horizon or the first program completion; further
+// calls are no-ops that keep returning true.
+func (l *Loop) StepDelta() (bool, error) {
+	if l.Done() {
+		return true, nil
+	}
+	if l.d == 0 {
+		if err := l.decide(); err != nil {
+			return false, err
+		}
+	}
+	l.delta()
+	l.d++
+	if l.d >= l.opt.DeltasPerExplore || l.Done() {
+		l.foldSamples()
+		l.d = 0
+	}
+	return l.Done(), nil
+}
+
+// Close releases the loop's supervisor watchdog, if armed. Idempotent; the
+// loop must not be stepped after. Finish calls it.
+func (l *Loop) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	if l.sup != nil {
+		l.sup.stop()
+	}
+}
+
+// Finish seals the run accounting — elapsed time, final samples, overshoot
+// integrals, guard statistics, solver node counts — closes the loop, and
+// returns the Result. Idempotent.
+func (l *Loop) Finish() *Result {
+	if l.finished {
+		return l.res
+	}
+	l.finished = true
+	res := l.res
+	res.Elapsed = l.now
+	res.FinalSamples = append([]core.Sample(nil), l.samples...)
+	res.OvershootEnergyWs = metrics.OvershootEnergyWs(res.ChipPowerW, res.BudgetW, l.deltaSC)
+	res.WorstOvershootWs = metrics.WorstSustainedOvershootWs(res.ChipPowerW, res.BudgetW, l.deltaSC)
+	if st, guarded := l.decider.GuardStats(); guarded {
 		res.EmergencyEntries = st.EmergencyEntries
 		res.EmergencyIntervals = st.EmergencyIntervals
-		res.RecoveryLatency = time.Duration(st.LongestEmergency) * explore
+		res.RecoveryLatency = time.Duration(st.LongestEmergency) * l.explore
 		res.DeadCores = st.DeadCores
 		res.SanitizedSamples = st.SanitizedSamples + st.ClampedSamples
 		res.RescaledIntervals = st.RescaledIntervals
 	}
-	if ph, ok := decider.(policyHolder); ok {
+	if ph, ok := l.decider.(policyHolder); ok {
 		if nr, ok := ph.Policy().(nodeReporter); ok {
 			if nodes, counted := nr.SolveNodes(); counted {
 				res.Obs.SolverNodes = nodes
 			}
 		}
 	}
-	if obs != nil {
-		obs.RunEnd(res)
+	if l.obs != nil {
+		l.obs.RunEnd(res)
 	}
-	return res, nil
+	l.Close()
+	return res
+}
+
+// Run executes the global-manager control loop on the substrate until the
+// horizon or the first program completion (§5.1).
+func Run(sub Substrate, opt Options) (*Result, error) {
+	l, err := New(sub, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	for {
+		done, err := l.StepDelta()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	return l.Finish(), nil
 }

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"gpm/internal/fleet"
+	"gpm/internal/workload"
+)
+
+func fleetSweepConfig() fleet.Config {
+	return fleet.Config{
+		Chips:   2,
+		Combo:   workload.FourWay[0],
+		Horizon: 10 * time.Millisecond,
+		Seed:    7,
+		Cohorts: []fleet.Cohort{
+			{Name: "interactive", Clients: 8, RatePerClient: 1000, CostInstr: 2e5, SLO: 2 * time.Millisecond},
+			{Name: "batch", Clients: 4, Process: "gamma", RatePerClient: 400, CostInstr: 1e6, SLO: 10 * time.Millisecond},
+		},
+	}
+}
+
+func TestFleetSweep(t *testing.T) {
+	e := env(t)
+	fracs := []float64{0.5, 1.0}
+	pts, err := e.FleetSweep(fleetSweepConfig(), fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(fracs) {
+		t.Fatalf("got %d points, want %d", len(pts), len(fracs))
+	}
+	for i, p := range pts {
+		if p.CapFrac != fracs[i] {
+			t.Errorf("point %d: CapFrac %v, want %v", i, p.CapFrac, fracs[i])
+		}
+		if p.FacilityCapW <= 0 {
+			t.Errorf("point %d: FacilityCapW %v not resolved", i, p.FacilityCapW)
+		}
+		if p.ThroughputRPS <= 0 {
+			t.Errorf("point %d: no throughput", i)
+		}
+		if len(p.Cohorts) != 2 {
+			t.Errorf("point %d: %d cohort rows, want 2", i, len(p.Cohorts))
+		}
+	}
+	if pts[1].FacilityCapW <= pts[0].FacilityCapW {
+		t.Errorf("cap did not grow with CapFrac: %v then %v", pts[0].FacilityCapW, pts[1].FacilityCapW)
+	}
+	// Loosening the cap must never hurt served throughput in this open-loop
+	// scenario.
+	if pts[1].ThroughputRPS < pts[0].ThroughputRPS {
+		t.Errorf("throughput fell as the cap loosened: %v rps at 50%%, %v rps at 100%%",
+			pts[0].ThroughputRPS, pts[1].ThroughputRPS)
+	}
+
+	// The sweep fan-out must stay deterministic across worker counts.
+	e2 := env(t)
+	saved := e2.Workers
+	e2.Workers = 1
+	serial, err := e2.FleetSweep(fleetSweepConfig(), fracs)
+	e2.Workers = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i].ThroughputRPS != serial[i].ThroughputRPS || pts[i].JainFairness != serial[i].JainFairness {
+			t.Errorf("point %d differs between parallel and serial sweeps", i)
+		}
+	}
+}

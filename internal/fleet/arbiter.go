@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"time"
+
+	"gpm/internal/modes"
+	"gpm/internal/solver"
+	"gpm/internal/trace"
+)
+
+// arbiter redistributes the facility power cap across chips once per epoch.
+// The rebalance is a budgeted mode-allocation instance with chips as "cores"
+// and grant levels as "modes": Power[i][j] is level j's wattage for chip i
+// (a fraction of its envelope), Instr[i][j] the committed instructions the
+// grant is expected to buy — min(demand, estEff·W·epoch), so a chip with no
+// backlog bids nothing and the solver's lower-power tie-break parks it at
+// the deepest level. The instance is solved by solver.Hier — clusters of
+// ClusterSize chips, exact BB inside each, slack rebalanced between them,
+// and EWMA share smoothing (HierAlpha) carrying grants across epochs — the
+// same machinery that scales the on-chip decision to 1000 cores, one level
+// up. A per-chip grant EWMA (GrantSmoothing) then damps epoch-to-epoch
+// oscillation, and grants rescale to the cap whenever smoothing overshoots
+// it, so Σ grants ≤ cap holds at every epoch — including the epoch right
+// after a mid-run cap cut, which is how a facility brownout cascades into
+// per-chip budgets and, through each engine's next decision, mode vectors.
+type arbiter struct {
+	levels   []float64
+	plan     modes.Plan // len(Levels) == len(levels); solvers only read the mode count
+	hier     *solver.Hier
+	beta     float64
+	epochSec float64
+}
+
+func newArbiter(lib *trace.Library, cfg Config, chips []*chip) *arbiter {
+	a := &arbiter{
+		levels:   cfg.Levels,
+		beta:     cfg.GrantSmoothing,
+		epochSec: cfg.Epoch.Seconds(),
+		hier: &solver.Hier{
+			ClusterSize: cfg.ClusterSize,
+			Inner:       &solver.BB{},
+			Alpha:       cfg.HierAlpha,
+		},
+	}
+	// The solver reads only the plan's mode count; voltage scales are
+	// cosmetic here but keep the plan valid.
+	simPlan := lib.Plan()
+	a.plan = modes.Plan{NominalVdd: simPlan.NominalVdd, TransitionRateVPerUs: simPlan.TransitionRateVPerUs}
+	for j, frac := range cfg.Levels {
+		a.plan.Levels = append(a.plan.Levels, modes.Level{
+			Name:   levelName(j),
+			VScale: frac,
+			FScale: frac,
+		})
+	}
+	return a
+}
+
+func levelName(j int) string {
+	if j == 0 {
+		return "Full"
+	}
+	return "G" + string(rune('0'+j))
+}
+
+// rebalance folds each chip's telemetry since the last epoch, solves the
+// facility allocation at time now, and publishes the new grants. Called
+// serially at window boundaries, strictly before the window's routing and
+// chip stepping.
+func (a *arbiter) rebalance(f *Fleet, now time.Duration) EpochStats {
+	n := len(f.chips)
+	st := EpochStats{
+		Start:        now,
+		FacilityCapW: f.capW(now),
+		GrantW:       make([]float64, n),
+		BacklogInstr: make([]float64, n),
+		DemandInstr:  make([]float64, n),
+	}
+
+	power := make([][]float64, n)
+	instr := make([][]float64, n)
+	for i, c := range f.chips {
+		// Efficiency telemetry: committed instructions per joule over the
+		// last epoch, EWMA-blended so one noisy epoch cannot whipsaw the
+		// capacity model. Epoch 0 runs on the all-Turbo bootstrap estimate.
+		res := c.loop.Result()
+		if dE := res.EnergyJ - c.lastEnergyJ; dE > 0 {
+			obs := (res.TotalInstr - c.lastTotalInstr) / dE
+			c.estEff = 0.5*c.estEff + 0.5*obs
+		}
+		c.lastTotalInstr, c.lastEnergyJ = res.TotalInstr, res.EnergyJ
+
+		// Demand: what is already queued plus what the last epoch routed
+		// here (the open-loop arrival predictor for the next one).
+		demand := c.backlogInstr + c.routedInstrEpoch
+		c.routedInstrEpoch = 0
+		st.BacklogInstr[i] = c.backlogInstr
+		st.DemandInstr[i] = demand
+
+		power[i] = make([]float64, len(a.levels))
+		instr[i] = make([]float64, len(a.levels))
+		for j, frac := range a.levels {
+			w := frac * c.envelopeW
+			power[i][j] = w
+			cap := c.estEff * w * a.epochSec
+			if cap > demand {
+				cap = demand
+			}
+			instr[i][j] = cap
+		}
+	}
+
+	v, _ := a.hier.Solve(solver.Instance{
+		Plan:    a.plan,
+		BudgetW: st.FacilityCapW,
+		Power:   power,
+		Instr:   instr,
+	})
+
+	var sum float64
+	for i := range f.chips {
+		g := power[i][v[i]]
+		if a.beta > 0 {
+			g = a.beta*f.chips[i].grantW + (1-a.beta)*g
+		}
+		st.GrantW[i] = g
+		sum += g
+	}
+	// Smoothing can hold grants above a freshly cut cap for one blend step;
+	// the cap is a hard facility limit, so rescale.
+	if sum > st.FacilityCapW && sum > 0 {
+		scale := st.FacilityCapW / sum
+		for i := range st.GrantW {
+			st.GrantW[i] *= scale
+		}
+	}
+	for i, c := range f.chips {
+		c.grantW = st.GrantW[i]
+	}
+	return st
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"gpm/internal/workload"
+)
+
+// Arrival generation is open-loop: every client draws its inter-arrival
+// sequence from its own PRNG substream, independent of service state, so the
+// offered load is a pure function of (Seed, Cohorts, Horizon). The split
+// tree is canonical — root → one stream per cohort → one stream per client —
+// so adding a cohort or client never perturbs the arrivals of the others.
+//
+// All three distributions are parameterized to a mean inter-arrival of
+// 1/RatePerClient and built exclusively on Stream.Float64, leaving the
+// generator's math/rand bit-compatibility contract untouched:
+//
+//   - poisson: exponential gaps, Δ = −ln(1−U)/λ (the memoryless baseline);
+//   - gamma:   shape k gaps via Marsaglia–Tsang (k ≥ 1) with the Ahrens-
+//     Dieter boost for k < 1; k > 1 is smoother than Poisson, k < 1 burstier;
+//   - weibull: Δ = s·(−ln(1−U))^{1/k} with s chosen so the mean is 1/λ.
+//
+// Diurnal modulation scales each gap by the instantaneous rate factor
+// 1 + amp·sin(2π(t/period + phase)) — an inhomogeneous process whose local
+// intensity tracks the sinusoid while keeping per-draw determinism.
+
+// expDraw returns an Exp(1) variate from the stream.
+func expDraw(s *workload.Stream) float64 {
+	return -math.Log(1 - s.Float64())
+}
+
+// normDraw returns a standard normal variate via the Marsaglia polar method.
+func normDraw(s *workload.Stream) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// gammaDraw returns a Gamma(shape, 1) variate (unit scale) via
+// Marsaglia–Tsang squeeze, with the U^{1/k} boost for shape < 1.
+func gammaDraw(s *workload.Stream, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) · U^{1/k}.
+		return gammaDraw(s, shape+1) * math.Pow(s.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := normDraw(s)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullDraw returns a Weibull(shape, 1) variate (unit scale) by inversion.
+func weibullDraw(s *workload.Stream, shape float64) float64 {
+	return math.Pow(expDraw(s), 1/shape)
+}
+
+// interarrival returns one gap in seconds with mean 1/rate for the cohort's
+// process, before diurnal scaling.
+func (co *Cohort) interarrival(s *workload.Stream) float64 {
+	mean := 1 / co.RatePerClient
+	switch co.Process {
+	case "gamma":
+		// Gamma(k, θ) has mean kθ; θ = mean/k keeps the rate fixed while
+		// Shape trades burstiness.
+		return gammaDraw(s, co.Shape) * mean / co.Shape
+	case "weibull":
+		// Weibull(k, s) has mean s·Γ(1+1/k).
+		return weibullDraw(s, co.Shape) * mean / math.Gamma(1+1/co.Shape)
+	default: // poisson
+		return expDraw(s) * mean
+	}
+}
+
+// diurnal returns the rate multiplier at time t (seconds).
+func (co *Cohort) diurnal(t float64) float64 {
+	if co.DiurnalAmp == 0 {
+		return 1
+	}
+	period := co.DiurnalPeriod.Seconds()
+	return 1 + co.DiurnalAmp*math.Sin(2*math.Pi*(t/period+co.DiurnalPhase))
+}
+
+// generateArrivals materializes the full offered load for the horizon in
+// canonical (time, cohort, client, seq) order.
+func generateArrivals(cfg Config) ([]*request, error) {
+	horizonSec := cfg.Horizon.Seconds()
+	root := workload.NewStream(cfg.Seed)
+	var out []*request
+	for ci := range cfg.Cohorts {
+		co := &cfg.Cohorts[ci]
+		cohortStream := root.Split()
+		for cl := 0; cl < co.Clients; cl++ {
+			s := cohortStream.Split()
+			t, seq := 0.0, 0
+			for {
+				gap := co.interarrival(s) / co.diurnal(t)
+				if gap < 1e-12 {
+					gap = 1e-12 // −ln(1−U) can be exactly 0; keep time advancing
+				}
+				t += gap
+				if t >= horizonSec {
+					break
+				}
+				out = append(out, &request{
+					cohort:    ci,
+					client:    cl,
+					seq:       seq,
+					arriveSec: t,
+					cost:      co.CostInstr,
+				})
+				seq++
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.arriveSec != b.arriveSec {
+			return a.arriveSec < b.arriveSec
+		}
+		if a.cohort != b.cohort {
+			return a.cohort < b.cohort
+		}
+		if a.client != b.client {
+			return a.client < b.client
+		}
+		return a.seq < b.seq
+	})
+	return out, nil
+}

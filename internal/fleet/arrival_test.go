@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpm/internal/workload"
+)
+
+// sampleStats draws n variates and returns (mean, variance).
+func sampleStats(n int, draw func() float64) (float64, float64) {
+	var sum float64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw()
+		sum += xs[i]
+	}
+	mean := sum / float64(n)
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return mean, v / float64(n)
+}
+
+// checkMoments asserts sample mean/variance within relative tolerance of the
+// analytic values — the distribution property contract of the arrival
+// generators.
+func checkMoments(t *testing.T, name string, gotMean, gotVar, wantMean, wantVar, tol float64) {
+	t.Helper()
+	if math.Abs(gotMean-wantMean) > tol*wantMean {
+		t.Errorf("%s: sample mean %v, want %v ± %.0f%%", name, gotMean, wantMean, 100*tol)
+	}
+	if math.Abs(gotVar-wantVar) > 3*tol*wantVar {
+		t.Errorf("%s: sample variance %v, want %v ± %.0f%%", name, gotVar, wantVar, 300*tol)
+	}
+}
+
+func TestExpDrawMoments(t *testing.T) {
+	s := workload.NewStream(11)
+	mean, vr := sampleStats(100_000, func() float64 { return expDraw(s) })
+	checkMoments(t, "exp(1)", mean, vr, 1, 1, 0.02)
+}
+
+func TestGammaDrawMoments(t *testing.T) {
+	// Marsaglia–Tsang path (shape >= 1) and the boost path (shape < 1):
+	// Gamma(k, 1) has mean k and variance k.
+	for _, k := range []float64{0.7, 1.0, 2.5} {
+		s := workload.NewStream(13)
+		mean, vr := sampleStats(100_000, func() float64 { return gammaDraw(s, k) })
+		checkMoments(t, "gamma", mean, vr, k, k, 0.02)
+	}
+}
+
+func TestWeibullDrawMoments(t *testing.T) {
+	// Weibull(k, 1): mean Γ(1+1/k), variance Γ(1+2/k) − Γ(1+1/k)².
+	for _, k := range []float64{0.8, 1.5, 3.0} {
+		s := workload.NewStream(17)
+		g1 := math.Gamma(1 + 1/k)
+		g2 := math.Gamma(1 + 2/k)
+		mean, vr := sampleStats(100_000, func() float64 { return weibullDraw(s, k) })
+		checkMoments(t, "weibull", mean, vr, g1, g2-g1*g1, 0.03)
+	}
+}
+
+// TestInterarrivalMeanRate pins the user-facing parameterization: whatever
+// the process and shape, the mean gap is 1/RatePerClient.
+func TestInterarrivalMeanRate(t *testing.T) {
+	cases := []Cohort{
+		{Process: "poisson", RatePerClient: 2000, Shape: 2},
+		{Process: "gamma", RatePerClient: 500, Shape: 0.8},
+		{Process: "gamma", RatePerClient: 500, Shape: 3},
+		{Process: "weibull", RatePerClient: 1500, Shape: 1.7},
+	}
+	for _, co := range cases {
+		co := co
+		s := workload.NewStream(23)
+		mean, _ := sampleStats(100_000, func() float64 { return co.interarrival(s) })
+		want := 1 / co.RatePerClient
+		if math.Abs(mean-want) > 0.02*want {
+			t.Errorf("%s(shape=%v): mean gap %v, want %v ± 2%%", co.Process, co.Shape, mean, want)
+		}
+	}
+}
+
+// TestDiurnalModulation pins the rate-factor shape and that modulated
+// arrival streams actually concentrate around the sinusoid's peak.
+func TestDiurnalModulation(t *testing.T) {
+	co := Cohort{DiurnalAmp: 0.5, DiurnalPeriod: 10 * time.Millisecond, DiurnalPhase: 0}
+	if got := co.diurnal(0.0025); math.Abs(got-1.5) > 1e-9 { // quarter period = peak
+		t.Errorf("peak factor %v, want 1.5", got)
+	}
+	if got := co.diurnal(0.0075); math.Abs(got-0.5) > 1e-9 { // trough
+		t.Errorf("trough factor %v, want 0.5", got)
+	}
+	co2 := Cohort{}
+	if got := co2.diurnal(123); got != 1 {
+		t.Errorf("amp=0 must be flat, got %v", got)
+	}
+
+	cfg := Config{
+		Chips: 1, Combo: workload.FourWay[0], Horizon: 10 * time.Millisecond, Seed: 5,
+		Cohorts: []Cohort{{
+			Name: "d", Clients: 32, RatePerClient: 2000, CostInstr: 1e5,
+			SLO: time.Millisecond, DiurnalAmp: 0.8,
+			DiurnalPeriod: 10 * time.Millisecond,
+		}},
+	}
+	cfg, err := cfg.withDefaults(500 * time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := generateArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := 0
+	for _, rq := range reqs {
+		if rq.arriveSec < 0.005 {
+			firstHalf++
+		}
+	}
+	// amp=0.8 puts the peak in the first half-period; the split should be
+	// decisively lopsided (≈75/25 in expectation).
+	if frac := float64(firstHalf) / float64(len(reqs)); frac < 0.6 {
+		t.Errorf("diurnal peak half has only %.0f%% of arrivals, want > 60%%", 100*frac)
+	}
+}
+
+// TestGenerateArrivalsCanonicalOrder pins the schedule's determinism and
+// ordering contract.
+func TestGenerateArrivalsCanonicalOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg, err := cfg.withDefaults(500 * time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := generateArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generateArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedule lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("arrival %d differs between identical generations", i)
+		}
+		if i > 0 && a[i-1].arriveSec > a[i].arriveSec {
+			t.Fatalf("arrival %d out of order", i)
+		}
+		if a[i].arriveSec >= cfg.Horizon.Seconds() {
+			t.Fatalf("arrival %d beyond horizon", i)
+		}
+	}
+}

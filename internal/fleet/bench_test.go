@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"gpm/internal/workload"
+)
+
+// benchChips builds router-visible chip state without engines: routing and
+// its score math never touch the loop.
+func benchChips(n int) []*chip {
+	chips := make([]*chip, n)
+	for i := range chips {
+		chips[i] = &chip{
+			id:               i,
+			envelopeW:        87,
+			turboInstrPerSec: 2.9e9,
+			grantW:           60,
+			estEff:           3.3e7,
+			cores:            make([]coreQueue, 4),
+		}
+	}
+	return chips
+}
+
+// BenchmarkFleetRoute measures one placement decision + enqueue per op on a
+// 16-chip fleet under the power-aware policy (the most arithmetic-heavy).
+func BenchmarkFleetRoute(b *testing.B) {
+	f := &Fleet{
+		cfg:    Config{Policy: "power-aware", QueueCap: 1 << 30},
+		chips:  benchChips(16),
+		router: &router{policy: "power-aware", queueCap: 1 << 30},
+	}
+	reqs := make([]*request, b.N)
+	for i := range reqs {
+		reqs[i] = &request{cohort: i % 2, arriveSec: float64(i) * 1e-6, cost: 2e5}
+	}
+	f.arrivals = reqs
+	b.ResetTimer()
+	f.route(0, float64(b.N)*1e-6+1)
+	if f.next != b.N {
+		b.Fatalf("routed %d of %d", f.next, b.N)
+	}
+}
+
+// BenchmarkFleetEpoch measures one arbiter rebalance — telemetry fold,
+// hierarchical solve over chips × levels, grant smoothing — on a real
+// 8-chip fleet.
+func BenchmarkFleetEpoch(b *testing.B) {
+	lib := testLib(b)
+	cfg := testConfig()
+	cfg.Chips = 8
+	f, err := New(lib, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.closeChips()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.arbiter.rebalance(f, time.Duration(i)*f.cfg.Epoch)
+	}
+}
+
+// BenchmarkFleetEndToEnd measures a whole small scenario per op: build,
+// serve, arbitrate, finalize.
+func BenchmarkFleetEndToEnd(b *testing.B) {
+	lib := testLib(b)
+	cfg := Config{
+		Chips:   4,
+		Combo:   workload.FourWay[0],
+		Horizon: 5 * time.Millisecond,
+		Seed:    7,
+		Cohorts: []Cohort{
+			{Name: "interactive", Clients: 8, RatePerClient: 1000, CostInstr: 2e5, SLO: 2 * time.Millisecond},
+			{Name: "batch", Clients: 4, Process: "gamma", RatePerClient: 400, CostInstr: 1e6, SLO: 10 * time.Millisecond},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(lib, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

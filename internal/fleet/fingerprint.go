@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"math"
+
+	"gpm/internal/obs"
+)
+
+// serveHash folds every request's routing and completion outcome — in
+// canonical arrival order — into one FNV-64a digest. Any drift in arrival
+// generation, placement, admission or completion interpolation moves it.
+func serveHash(reqs []*request) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	wu := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	for _, rq := range reqs {
+		wu(uint64(rq.cohort)<<40 | uint64(rq.client)<<20 | uint64(uint32(rq.seq)))
+		wf(rq.arriveSec)
+		wu(uint64(int64(rq.chip))<<32 | uint64(uint32(rq.core)))
+		switch {
+		case rq.shed:
+			wu(1)
+		case rq.done:
+			wu(2)
+			wf(rq.completeSec)
+		default:
+			wu(3)
+			wf(rq.remaining)
+		}
+	}
+	return h.Sum64()
+}
+
+// Fingerprint hashes a fleet result bit-exactly: the serving digest, the
+// arbiter's epoch log, and every chip's engine fingerprint. This is the
+// golden the fleet serving path is pinned by, alongside the cmpsim/trace
+// goldens.
+func Fingerprint(r *Result) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	wu := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	wu(r.ServeHash)
+	wu(uint64(r.Arrived))
+	wu(uint64(r.Completed))
+	wu(uint64(r.Shed))
+	wu(uint64(r.Unfinished))
+	for _, e := range r.EpochLog {
+		wf(float64(e.Start))
+		wf(e.FacilityCapW)
+		for i := range e.GrantW {
+			wf(e.GrantW[i])
+			wf(e.BacklogInstr[i])
+			wf(e.DemandInstr[i])
+		}
+	}
+	for _, cs := range r.Cohorts {
+		wu(uint64(cs.AttainedSLO))
+		wf(cs.ServedInstr)
+	}
+	for _, cr := range r.ChipResults {
+		wu(obs.ResultFingerprint(cr))
+	}
+	return h.Sum64()
+}

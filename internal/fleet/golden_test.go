@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// goldenConfig is the pinned serving scenario: fixed seed, 4 chips, 2
+// cohorts, a mid-run facility cap cut. Alongside the cmpsim/trace goldens it
+// pins the whole serving path — arrival draws, placement, admission,
+// completion interpolation, arbiter grants, per-chip engine series — bit for
+// bit.
+func goldenConfig() Config {
+	cfg := testConfig()
+	cfg.FacilityCapW = func(now time.Duration) float64 {
+		if now < 5*time.Millisecond {
+			return 350
+		}
+		return 200
+	}
+	return cfg
+}
+
+// goldenWant is the pinned fingerprint. Re-capture after an intentional
+// serving-path change with:
+//
+//	GOLDEN_CAPTURE=1 go test -run TestGoldenFleet ./internal/fleet
+const goldenWant = 0x609263523a252422
+
+func TestGoldenFleet(t *testing.T) {
+	lib := testLib(t)
+	res, err := Run(lib, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Fingerprint(res)
+	if os.Getenv("GOLDEN_CAPTURE") != "" {
+		t.Logf("const goldenWant = %#x", got)
+		return
+	}
+	if got != goldenWant {
+		t.Errorf("fleet golden fingerprint %#x, want %#x — the serving path moved; "+
+			"verify the change is intentional and re-capture with GOLDEN_CAPTURE=1", got, goldenWant)
+	}
+}

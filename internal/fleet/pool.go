@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach mirrors the experiment package's bounded fan-out primitive (which
+// cannot be imported here without a cycle: experiment drives fleet sweeps).
+// fn(i) runs for every i in [0, n) on at most `workers` goroutines, jobs
+// claimed through an atomic cursor; the caller's result placement — indexed
+// writes into per-chip state — is deterministic regardless of worker count,
+// and errors join in index order.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers - 1)
+		for k := 0; k < workers-1; k++ {
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
+	return errors.Join(errs...)
+}
+
+// poolWorkers resolves a worker bound (0 = GOMAXPROCS).
+func poolWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

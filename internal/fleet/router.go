@@ -1,0 +1,85 @@
+package fleet
+
+// router places arrivals onto chips under admission control. Placement is
+// decided serially in canonical arrival order against live backlog state —
+// each assignment updates the backlog the next one sees — so the placement
+// sequence is deterministic and independent of worker count.
+type router struct {
+	policy   string
+	queueCap int
+	rr       int // next round-robin candidate
+}
+
+func newRouter(cfg Config) *router {
+	return &router{policy: cfg.Policy, queueCap: cfg.QueueCap}
+}
+
+func (r *router) full(c *chip) bool { return c.queued >= r.queueCap }
+
+// pick selects the target chip for one request, or -1 to shed. Policies:
+//
+//   - rr: next chip in rotation, skipping full ones — oblivious spreading;
+//   - least-loaded: smallest backlog (remaining queued instructions),
+//     lowest id on ties — classic join-shortest-queue at chip granularity;
+//   - power-aware: highest grant-per-backlog score
+//     grantW / (1 + backlogInstr/turboInstrPerSec) — steer work toward
+//     chips the arbiter is currently powering, so placement and the
+//     facility budget pull in the same direction.
+func (r *router) pick(chips []*chip) int {
+	switch r.policy {
+	case "rr":
+		n := len(chips)
+		for k := 0; k < n; k++ {
+			i := (r.rr + k) % n
+			if !r.full(chips[i]) {
+				r.rr = (i + 1) % n
+				return i
+			}
+		}
+		return -1
+	case "power-aware":
+		best, bestScore := -1, 0.0
+		for i, c := range chips {
+			if r.full(c) {
+				continue
+			}
+			backlogSec := 0.0
+			if c.turboInstrPerSec > 0 {
+				backlogSec = c.backlogInstr / c.turboInstrPerSec
+			}
+			score := c.grantW / (1 + backlogSec)
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
+	default: // least-loaded
+		best := -1
+		for i, c := range chips {
+			if r.full(c) {
+				continue
+			}
+			if best < 0 || c.backlogInstr < chips[best].backlogInstr {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// route admits every arrival in [t0, t1) seconds: pick a chip (shed when all
+// are full), then the chip's least-loaded core.
+func (f *Fleet) route(t0, t1 float64) {
+	for f.next < len(f.arrivals) && f.arrivals[f.next].arriveSec < t1 {
+		rq := f.arrivals[f.next]
+		f.next++
+		i := f.router.pick(f.chips)
+		if i < 0 {
+			rq.shed = true
+			rq.chip, rq.core = -1, -1
+			continue
+		}
+		c := f.chips[i]
+		c.enqueue(c.leastLoadedCore(), rq)
+	}
+}

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Degradation returns the performance degradation of a policy run relative
@@ -121,6 +122,75 @@ func WorstSustainedOvershootWs(powerW, budgetW []float64, dtSeconds float64) flo
 		}
 	}
 	return worst
+}
+
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) over per-cohort
+// allocations: 1.0 when every cohort receives an equal share, 1/n when one
+// cohort receives everything. Non-finite or negative entries poison the
+// index to 0 (an allocation vector with a NaN in it is not "fair"); an
+// empty or all-zero vector returns 0.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
+// interpolation between closest ranks, without mutating xs. Non-finite
+// entries are dropped first — a latency sample set polluted by NaNs must
+// not poison the percentile of the valid samples. Returns NaN when no
+// finite samples remain or p is outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if len(clean) == 1 {
+		return clean[0]
+	}
+	rank := p / 100 * float64(len(clean)-1)
+	lo := int(rank)
+	if lo >= len(clean)-1 {
+		return clean[len(clean)-1]
+	}
+	frac := rank - float64(lo)
+	return clean[lo] + frac*(clean[lo+1]-clean[lo])
+}
+
+// LatencyPercentiles is the p50/p95/p99 bundle the serving tier reports per
+// SLO class.
+type LatencyPercentiles struct {
+	P50, P95, P99 float64
+}
+
+// SummarizeLatency computes the standard serving percentiles of xs.
+func SummarizeLatency(xs []float64) LatencyPercentiles {
+	return LatencyPercentiles{
+		P50: Percentile(xs, 50),
+		P95: Percentile(xs, 95),
+		P99: Percentile(xs, 99),
+	}
 }
 
 // Series summarizes a float series.

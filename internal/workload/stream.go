@@ -1,0 +1,71 @@
+// Stream is the exported, splittable face of the workload PRNG. The fleet
+// tier generates one open-loop arrival process per client; giving every
+// client its own generator seeded "seed+i" would be fragile (the underlying
+// lagged-Fibonacci generator reduces seeds mod 2^31-1, so nearby seeds give
+// correlated warmup) and sharing one generator would couple clients' draws
+// through evaluation order. Split instead derives child streams through a
+// 64-bit splitmix finalizer over (parent key, split index): child keys are
+// well-spread over the full 64-bit space regardless of how clustered the
+// user-facing seeds are, and a key-dependent warmup burn decorrelates the
+// children even in the astronomically unlikely event of a seed collision
+// after the mod-2^31-1 reduction.
+//
+// Splitting consumes no draws from the parent: a stream's value sequence
+// depends only on its key, never on how many children were split off, so
+// adding a client to a scenario cannot perturb the others (pinned by
+// TestStreamSplitIndependence).
+
+package workload
+
+// Stream is a deterministic PRNG with derivable independent substreams.
+// It is not safe for concurrent use; split one stream per goroutine.
+type Stream struct {
+	r      *rng
+	key    uint64
+	splits uint64
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14):
+// a bijective avalanche mix used here to spread (key, index) pairs over the
+// full 64-bit space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func streamFromKey(key uint64) *Stream {
+	s := &Stream{key: key, r: newRNG(int64(key & rngMask))}
+	// Key-dependent warmup: the lagged-Fibonacci state only distinguishes
+	// seeds mod 2^31-1, so two keys that collide after reduction would
+	// otherwise emit identical sequences. Burning a key-derived number of
+	// draws (bounded, cheap) offsets such streams from each other.
+	for burn := (key >> 33) & 1023; burn > 0; burn-- {
+		s.r.uint64()
+	}
+	return s
+}
+
+// NewStream returns the root stream for a scenario seed. Equal seeds give
+// bit-identical streams and split trees.
+func NewStream(seed int64) *Stream {
+	return streamFromKey(splitmix64(uint64(seed)))
+}
+
+// Split derives the next independent child stream. The child's sequence is a
+// pure function of (parent key, split index); the parent's own draw state is
+// untouched, and draws taken from the parent do not influence its children.
+func (s *Stream) Split() *Stream {
+	s.splits++
+	return streamFromKey(splitmix64(s.key ^ s.splits*0x9e3779b97f4a7c15))
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Int63 returns a uniform draw in [0, 2^63).
+func (s *Stream) Int63() int64 { return s.r.Int63() }
+
+// Intn returns a uniform draw in [0, n) for n > 0.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }

@@ -1,0 +1,88 @@
+package workload
+
+import "testing"
+
+func drawN(s *Stream, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Float64()
+	}
+	return out
+}
+
+// TestStreamDeterministic pins that equal seeds reproduce both the root
+// stream and the whole split tree bit-for-bit.
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	ac, bc := a.Split(), b.Split()
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("root draw %d: %v != %v", i, av, bv)
+		}
+		if av, bv := ac.Float64(), bc.Float64(); av != bv {
+			t.Fatalf("child draw %d: %v != %v", i, av, bv)
+		}
+	}
+}
+
+// TestStreamSplitIndependence pins the substream contract the fleet tier
+// relies on: (a) no two streams in a split tree share a draw-sequence
+// prefix, and (b) splitting a child off does not perturb the parent's own
+// sequence, so adding a client to a scenario leaves the others' arrival
+// processes bit-identical.
+func TestStreamSplitIndependence(t *testing.T) {
+	const nStreams, nDraws = 16, 64
+
+	root := NewStream(7)
+	streams := []*Stream{root}
+	for i := 1; i < nStreams; i++ {
+		streams = append(streams, root.Split())
+	}
+	seqs := make([][]float64, nStreams)
+	for i, s := range streams {
+		seqs[i] = drawN(s, nDraws)
+	}
+	for i := 0; i < nStreams; i++ {
+		for j := i + 1; j < nStreams; j++ {
+			same := 0
+			for k := 0; k < nDraws; k++ {
+				if seqs[i][k] == seqs[j][k] {
+					same++
+				}
+			}
+			if same == nDraws {
+				t.Fatalf("streams %d and %d emit identical %d-draw prefixes", i, j, nDraws)
+			}
+			if same > nDraws/4 {
+				t.Errorf("streams %d and %d agree on %d/%d draws; want near 0", i, j, same, nDraws)
+			}
+		}
+	}
+
+	// Splitting must not consume parent draws: a parent that splits k extra
+	// children still emits the same sequence.
+	p1, p2 := NewStream(99), NewStream(99)
+	p2.Split()
+	if a, b := drawN(p1, nDraws), drawN(p2, nDraws); !equalF64(a, b) {
+		t.Fatal("Split perturbed the parent's draw sequence")
+	}
+	// ...but each split index yields a distinct child.
+	q := NewStream(99)
+	c1, c2 := q.Split(), q.Split()
+	if a, b := drawN(c1, nDraws), drawN(c2, nDraws); equalF64(a, b) {
+		t.Fatal("successive Split calls returned identical streams")
+	}
+}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
