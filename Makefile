@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json golden fuzz chaos fleet
+.PHONY: all build vet test race check bench-json bench-check golden fuzz chaos fleet
 
 all: check
 
@@ -29,7 +29,7 @@ check: race
 # engine decision-loop benchmarks (ns/decision across manager + middleware
 # configurations on the synthetic substrate).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkHier1024|BenchmarkDeadlineSolver' -benchmem ./internal/solver \
+	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkSolverWarm|BenchmarkHier1024|BenchmarkDeadlineSolver' -benchmem ./internal/solver \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo wrote BENCH_solver.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$' -benchmem ./internal/engine \
@@ -45,6 +45,18 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet \
 		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# The steady-state allocation gate: re-run the warm-session benchmark rows
+# (short -benchtime — allocs/op is iteration-invariant) and fail if any row
+# allocates more per op than the committed BENCH_*.json baseline admits. The
+# warm solver rows are pinned at 0 allocs/op, so any new allocation on the
+# session hot path fails CI here.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolverWarm' -benchtime 5x -benchmem ./internal/solver \
+		| $(GO) run ./cmd/benchjson -check BENCH_solver.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$/warm' -benchtime 3x -benchmem ./internal/engine \
+		| $(GO) run ./cmd/benchjson -check BENCH_engine.json -slack 1.15
+	@echo bench-check passed
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control
 # loop AND its decision traces bit-identical (TestGoldenControlLoop,

@@ -7,13 +7,23 @@
 // and every reported metric keyed by its unit (ns/op, B/op, allocs/op, and
 // any b.ReportMetric custom units such as nodes/op). Non-benchmark lines are
 // ignored, so the full `go test` output can be piped through unfiltered.
+//
+// With -check baseline.json, benchjson instead compares the fresh results
+// against a committed baseline and exits non-zero on allocation regressions:
+// every row present in both whose name matches -match (default: the warm /
+// steady-state session rows) must not report more allocs/op than the
+// baseline row times the -slack factor. A 0-alloc baseline therefore admits
+// zero fresh allocations — the steady-state contract `make bench-check`
+// enforces in CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -27,6 +37,11 @@ type Result struct {
 }
 
 func main() {
+	check := flag.String("check", "", "baseline JSON to compare fresh results against (allocs/op gate)")
+	match := flag.String("match", "SolverWarm|steady|drift|warm-", "regexp selecting rows the -check gate applies to")
+	slack := flag.Float64("slack", 1.05, "multiplicative headroom over the baseline allocs/op (0-alloc baselines admit none)")
+	flag.Parse()
+
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -42,12 +57,76 @@ func main() {
 	if results == nil {
 		results = []Result{}
 	}
+	if *check != "" {
+		if err := checkBaseline(results, *check, *match, *slack); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// checkBaseline fails when a fresh row matching the selector reports more
+// allocs/op than its baseline counterpart allows. Rows missing from either
+// side are skipped (new benchmarks land before their baseline is committed;
+// retired ones linger in old baselines), but a run in which the selector
+// matches nothing at all is an error — a renamed benchmark must not silently
+// disarm the gate.
+func checkBaseline(fresh []Result, path, match string, slack float64) error {
+	sel, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match regexp: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	baseline := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseline[r.Name] = r
+	}
+	compared, failed := 0, 0
+	for _, r := range fresh {
+		if !sel.MatchString(r.Name) {
+			continue
+		}
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline row, skipping\n", r.Name)
+			continue
+		}
+		got, gok := r.Metrics["allocs/op"]
+		want, wok := b.Metrics["allocs/op"]
+		if !gok || !wok {
+			continue
+		}
+		compared++
+		if got > want*slack {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %g allocs/op, baseline %g (slack %.2f)\n",
+				r.Name, got, want, slack)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g allocs/op (baseline %g)\n", r.Name, got, want)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no rows matched %q against %s — gate disarmed?", match, path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d allocation regression(s) vs %s", failed, path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d row(s) within baseline %s\n", compared, path)
+	return nil
 }
 
 // parseLine decodes the standard benchmark format:

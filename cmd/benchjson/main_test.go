@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkSolver/bb/cores=64-8    424    2612470 ns/op    12345 nodes/op    2048 B/op    12 allocs/op")
@@ -30,5 +33,50 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Fatalf("line %q should not parse", bad)
 		}
+	}
+}
+
+func TestCheckBaseline(t *testing.T) {
+	base := `[
+  {"name": "BenchmarkSolverWarm/bb-steady/cores=64", "iterations": 10, "metrics": {"allocs/op": 0}},
+  {"name": "BenchmarkSolverWarm/hier-drift/cores=256", "iterations": 10, "metrics": {"allocs/op": 75}},
+  {"name": "BenchmarkSolver/bb/cores=64", "iterations": 10, "metrics": {"allocs/op": 217}}
+]`
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	row := func(name string, allocs float64) Result {
+		return Result{Name: name, Iterations: 10, Metrics: map[string]float64{"allocs/op": allocs}}
+	}
+	// Within baseline (exact match + inside slack) passes.
+	ok := []Result{
+		row("BenchmarkSolverWarm/bb-steady/cores=64", 0),
+		row("BenchmarkSolverWarm/hier-drift/cores=256", 78), // 75*1.05 = 78.75
+		row("BenchmarkSolver/bb/cores=64", 999),             // not matched by selector
+	}
+	if err := checkBaseline(ok, path, "SolverWarm", 1.05); err != nil {
+		t.Fatalf("within-baseline results rejected: %v", err)
+	}
+	// A 0-alloc baseline admits no fresh allocations at any slack.
+	bad := []Result{row("BenchmarkSolverWarm/bb-steady/cores=64", 1)}
+	if err := checkBaseline(bad, path, "SolverWarm", 1.05); err == nil {
+		t.Fatal("alloc regression on a 0-alloc baseline not caught")
+	}
+	// Exceeding slack on a non-zero baseline fails.
+	bad2 := []Result{row("BenchmarkSolverWarm/hier-drift/cores=256", 80)}
+	if err := checkBaseline(bad2, path, "SolverWarm", 1.05); err == nil {
+		t.Fatal("alloc regression past slack not caught")
+	}
+	// A selector that matches nothing must fail loudly, not silently pass.
+	if err := checkBaseline(ok, path, "Renamed", 1.05); err == nil {
+		t.Fatal("disarmed gate (no matching rows) not reported")
+	}
+	// Rows with no baseline counterpart are skipped, but the run still
+	// needs at least one comparison.
+	novel := []Result{row("BenchmarkSolverWarm/new-row", 5)}
+	if err := checkBaseline(novel, path, "SolverWarm", 1.05); err == nil {
+		t.Fatal("zero comparisons should be an error")
 	}
 }

@@ -130,8 +130,39 @@ func MaxBIPSHier(clusterSize int) Policy {
 	return core.SolverPolicy{Solver: &solver.Hier{ClusterSize: clusterSize}}
 }
 
-// SolverPolicy wraps any Solver as a Policy.
+// SolverPolicy wraps any Solver as a Policy. The returned policy is cold —
+// every decision is an independent stateless solve, safe to share across
+// concurrent sweep workers. Use SessionSolverPolicy for a warm-started one.
 func SolverPolicy(s Solver) Policy { return core.SolverPolicy{Solver: s} }
+
+// SessionSolverPolicy wraps a Solver as a Policy eligible for a warm-start
+// SolverSession: when an engine loop adopts it, consecutive decisions reuse
+// solver scratch, memoize repeated telemetry, and seed branch-and-bound
+// pruning from the previously actuated vector — same vectors, bit-identical
+// results, at a fraction of the steady-state latency. The policy belongs to
+// exactly one run at a time (the session is stateful); build a fresh one per
+// run.
+func SessionSolverPolicy(s Solver) Policy { return core.NewSolverPolicy(s) }
+
+// SolverHint carries the previous interval's decision into a warm-started
+// solve: the actuated mode vector and (optionally) its predicted throughput.
+// A hint never changes the solver's answer — it only accelerates reaching it
+// — except for deadline-aborted solves, where a feasible hint is returned
+// over a weaker incumbent (the anytime guarantee).
+type SolverHint = solver.Hint
+
+// SolverSession is a stateful solving session over one Solver: scratch reuse
+// (allocation-free steady state), a bitwise instance memo, and warm-start
+// hints across solves. Close it when the run ends. Sessions are not safe for
+// concurrent use.
+type SolverSession = solver.Session
+
+// SolverSessionStats are a session's cumulative warm-start counters.
+type SolverSessionStats = solver.SessionStats
+
+// NewSolverSession opens a warm-start session over s (typically *solver.BB,
+// *solver.DP, *solver.Hier or solver.Greedy via SolverByName).
+func NewSolverSession(s Solver) *SolverSession { return solver.NewSession(s) }
 
 // SolverScalingRow and SolverScalingOptions belong to System.SolverScaling,
 // the quality-vs-wall-clock sweep across chip widths (8..1024 cores).

@@ -205,7 +205,10 @@ func build(lib *trace.Library, combo workload.Combo, opt Options) (engine.Substr
 		if s := opt.Supervisor; s != nil && (s.Deadline > 0 || s.NodeBudget > 0) {
 			sol = solver.WithDeadline(sol, s.Deadline/2, s.NodeBudget)
 		}
-		opt.Policy = core.SolverPolicy{Solver: sol}
+		// Session-capable: the engine loop adopting this policy creates a
+		// warm-start solver session and owns its lifecycle. Result-invariant
+		// vs the cold value policy (the goldens pin it).
+		opt.Policy = core.NewSolverPolicy(sol)
 	}
 	if opt.Policy == nil && !replaying {
 		return nil, engine.Options{}, fmt.Errorf("cmpsim: no policy")

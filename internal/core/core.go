@@ -42,6 +42,21 @@ type Matrices struct {
 	// including the transition-overhead derating when m differs from the
 	// core's current mode.
 	Instr [][]float64
+
+	// flatP/flatI are row-major contiguous backings of Power/Instr when the
+	// matrices were laid out by MatricesInto (Power[c][m] == flatP[c*nm+m]).
+	// Solver sessions alias them for memo comparison and cluster slicing.
+	flatP, flatI []float64
+}
+
+// Flat returns the row-major contiguous backings of the matrices when they
+// were laid out by MatricesInto, and ok=false for hand-shaped matrices. The
+// slices alias Power/Instr — same floats, one pass.
+func (mx *Matrices) Flat() (power, instr []float64, ok bool) {
+	if mx.flatP == nil {
+		return nil, nil, false
+	}
+	return mx.flatP, mx.flatI, true
 }
 
 // VectorPower sums predicted power across cores for mode vector v.
@@ -104,14 +119,21 @@ func (p Predictor) MatricesInto(mx *Matrices, current modes.Vector, samples []Sa
 		panic(fmt.Sprintf("core: %d samples for %d cores", len(samples), n))
 	}
 	nm := p.Plan.NumModes()
-	if len(mx.Power) != n || len(mx.Instr) != n ||
-		(n > 0 && (len(mx.Power[0]) != nm || len(mx.Instr[0]) != nm)) {
+	// Reuse requires both the right shape and rows that alias our own flat
+	// layout (hand-shaped matrices are relaid so Flat stays truthful).
+	reuse := len(mx.Power) == n && len(mx.Instr) == n &&
+		len(mx.flatP) == n*nm && len(mx.flatI) == n*nm &&
+		(n == 0 || nm == 0 || (len(mx.Power[0]) == nm && len(mx.Instr[0]) == nm &&
+			&mx.Power[0][0] == &mx.flatP[0] && &mx.Instr[0][0] == &mx.flatI[0]))
+	if !reuse {
 		backing := make([]float64, 2*n*nm)
+		mx.flatP = backing[: n*nm : n*nm]
+		mx.flatI = backing[n*nm:]
 		mx.Power = make([][]float64, n)
 		mx.Instr = make([][]float64, n)
 		for c := 0; c < n; c++ {
-			mx.Power[c] = backing[2*c*nm : (2*c+1)*nm : (2*c+1)*nm]
-			mx.Instr[c] = backing[(2*c+1)*nm : (2*c+2)*nm : (2*c+2)*nm]
+			mx.Power[c] = mx.flatP[c*nm : (c+1)*nm : (c+1)*nm]
+			mx.Instr[c] = mx.flatI[c*nm : (c+1)*nm : (c+1)*nm]
 		}
 	}
 	for c := 0; c < n; c++ {
@@ -162,6 +184,14 @@ type Context struct {
 	// ExploreSeconds is the decision interval length, for policies that
 	// reason about transition overheads directly.
 	ExploreSeconds float64
+	// Hint is the mode vector actually actuated for the previous interval,
+	// when the caller (the engine loop) considers it a valid warm-start seed
+	// — nil on the first decision and after discontinuities (supervisor
+	// degradation, budget spikes, core death). Session-owning policies pass
+	// it to solver.Session.Solve, which re-validates it against the current
+	// instance; a hint can therefore accelerate a decision but never change
+	// its result.
+	Hint modes.Vector
 }
 
 // NumCores returns the width of the decision.
@@ -185,6 +215,12 @@ type Manager struct {
 	// before sanitize (observability only; nil until the first decision and
 	// while an outer guard bypasses the policy).
 	lastCandidate modes.Vector
+	// mx is the reusable matrices backing (MatricesInto target), so the
+	// prediction step allocates nothing in steady state.
+	mx Matrices
+	// hint is the warm-start vector for the next Step, staged by
+	// StepDecision; consumed (and cleared) by exactly one decision.
+	hint modes.Vector
 }
 
 // NewManager builds a manager for n cores, starting all cores at Turbo.
@@ -210,17 +246,19 @@ func (g *Manager) Policy() Policy { return g.policy }
 // consult the policy, sanitize and adopt the result. lookahead and memBound
 // may be nil.
 func (g *Manager) Step(budgetW float64, samples []Sample, lookahead func(int, modes.Mode) (float64, float64), memBound []float64) modes.Vector {
-	mx := g.predictor.Matrices(g.current, samples)
+	g.predictor.MatricesInto(&g.mx, g.current, samples)
 	ctx := Context{
 		Plan:           g.plan,
 		Current:        g.current.Clone(),
 		BudgetW:        budgetW,
 		Samples:        samples,
-		Matrices:       mx,
+		Matrices:       g.mx,
 		Lookahead:      lookahead,
 		MemBound:       memBound,
 		ExploreSeconds: g.predictor.ExploreSeconds,
+		Hint:           g.hint,
 	}
+	g.hint = nil
 	next := g.policy.Decide(ctx)
 	g.lastCandidate = next
 	next = g.sanitize(next, samples)

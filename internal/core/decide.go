@@ -31,10 +31,15 @@ type Decision struct {
 	// it; the engine's decision supervisor uses it to align injected decision
 	// stalls (fault.SolverStall) with the simulated clock.
 	Now time.Duration
+	// Hint is the previously actuated mode vector when the engine considers
+	// it a valid warm-start seed (nil otherwise); forwarded to the policy
+	// via Context.Hint.
+	Hint modes.Vector
 }
 
 // StepDecision applies one decision through the plain manager.
 func (g *Manager) StepDecision(d Decision) modes.Vector {
+	g.hint = d.Hint
 	return g.Step(d.BudgetW, d.Samples, d.Lookahead, d.MemBound)
 }
 
@@ -43,6 +48,7 @@ func (g *Manager) GuardStats() (ResilientStats, bool) { return ResilientStats{},
 
 // StepDecision applies one decision through the guarded manager.
 func (r *ResilientManager) StepDecision(d Decision) modes.Vector {
+	r.inner.hint = d.Hint
 	return r.Step(d.BudgetW, d.ChipPowerW, d.Samples, d.Lookahead, d.MemBound)
 }
 

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gpm/internal/modes"
+	"gpm/internal/solver"
+)
+
+// TestSolverPolicyNodeCountRace is the regression for the shared NodeCount
+// accumulator: Decide runs on value-receiver copies across concurrent sweep
+// workers, all feeding one *int64, so the adds must be atomic. Before the
+// fix this was a plain `+=` — run under `go test -race` this test fails on
+// the old code and undercounts even without -race.
+func TestSolverPolicyNodeCountRace(t *testing.T) {
+	var nodes int64
+	p := SolverPolicy{Solver: &solver.BB{}, NodeCount: &nodes}
+	c := ctx(t, 55, []float64{20, 18, 15, 17, 20, 19, 14, 16},
+		[]float64{900, 1000, 700, 850, 950, 880, 640, 720},
+		modes.Uniform(8, modes.Turbo))
+
+	ref := SolverPolicy{Solver: &solver.BB{}}.Decide(c)
+	var perDecide int64
+	{
+		var one int64
+		SolverPolicy{Solver: &solver.BB{}, NodeCount: &one}.Decide(c)
+		perDecide = one
+	}
+	if perDecide == 0 {
+		t.Fatal("test premise broken: BB decision visited 0 nodes")
+	}
+
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if v := p.Decide(c); !v.Equal(ref) {
+					t.Errorf("concurrent Decide diverged: %v != %v", v, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := p.SolveNodes()
+	if !ok {
+		t.Fatal("SolveNodes reports counting not wired")
+	}
+	if want := perDecide * workers * rounds; got != want {
+		t.Fatalf("NodeCount = %d, want %d (lost updates)", got, want)
+	}
+}
+
+// TestMatricesFlat pins the flat-backing contract MatricesInto provides for
+// zero-copy solver sessions: Flat() exposes row-major aliases of the same
+// storage the rows point into, reuse keeps the backing stable, and matrices
+// assembled by hand (no flat backing) report ok = false.
+func TestMatricesFlat(t *testing.T) {
+	pred := predictor()
+	cur := modes.Vector{modes.Turbo, modes.Eff1, modes.Eff2}
+	s := samples([]float64{20, 15, 9}, []float64{1000, 850, 600})
+
+	var mx Matrices
+	pred.MatricesInto(&mx, cur, s)
+	fp, fi, ok := mx.Flat()
+	if !ok {
+		t.Fatal("MatricesInto result reports no flat backing")
+	}
+	n, m := len(mx.Power), len(mx.Power[0])
+	if len(fp) != n*m || len(fi) != n*m {
+		t.Fatalf("flat lengths %d/%d, want %d", len(fp), len(fi), n*m)
+	}
+	for c := 0; c < n; c++ {
+		for mo := 0; mo < m; mo++ {
+			if fp[c*m+mo] != mx.Power[c][mo] || fi[c*m+mo] != mx.Instr[c][mo] {
+				t.Fatalf("flat[%d,%d] diverges from rows", c, mo)
+			}
+		}
+		if &fp[c*m] != &mx.Power[c][0] || &fi[c*m] != &mx.Instr[c][0] {
+			t.Fatalf("row %d does not alias the flat backing", c)
+		}
+	}
+
+	// Reuse must keep the same backing (pointer-stable for session aliasing).
+	p0 := &fp[0]
+	pred.MatricesInto(&mx, cur, s)
+	fp2, _, ok := mx.Flat()
+	if !ok || &fp2[0] != p0 {
+		t.Fatal("reuse reallocated the flat backing")
+	}
+
+	// The allocating Matrices also carries a flat backing.
+	alloc := pred.Matrices(cur, s)
+	if _, _, ok := alloc.Flat(); !ok {
+		t.Fatal("Matrices result reports no flat backing")
+	}
+
+	// Hand-shaped matrices (external rows) must refuse, not lie.
+	hand := Matrices{Power: [][]float64{{1, 2}}, Instr: [][]float64{{3, 4}}}
+	if _, _, ok := hand.Flat(); ok {
+		t.Fatal("hand-shaped matrices claim a flat backing")
+	}
+}
+
+// TestSolverPolicySessionInvariance pins that routing Decide through a
+// warm-start session — with and without a hint in the Context — returns the
+// bit-identical vector of the cold policy, and that SessionStats is wired.
+func TestSolverPolicySessionInvariance(t *testing.T) {
+	mk := func() Context {
+		return ctx(t, 62, []float64{20, 18, 15, 17, 20, 19},
+			[]float64{900, 1000, 700, 850, 950, 880},
+			modes.Uniform(6, modes.Turbo))
+	}
+	cold := SolverPolicy{Solver: &solver.BB{}}.Decide(mk())
+
+	p := NewSolverPolicy(&solver.BB{})
+	if _, ok := p.SessionStats(); ok {
+		t.Fatal("session reported active before EnsureSession")
+	}
+	p.EnsureSession()
+	defer p.CloseSession()
+
+	c := mk()
+	v1 := p.Decide(c).Clone()
+	if !v1.Equal(cold) {
+		t.Fatalf("session Decide %v != cold %v", v1, cold)
+	}
+	c.Hint = v1
+	if v2 := p.Decide(c); !v2.Equal(cold) {
+		t.Fatalf("hinted session Decide %v != cold %v", v2, cold)
+	}
+	st, ok := p.SessionStats()
+	if !ok || st.Solves != 2 {
+		t.Fatalf("SessionStats = %+v ok=%v, want 2 solves", st, ok)
+	}
+	p.CloseSession()
+	p.CloseSession() // idempotent
+	if v3 := p.Decide(mk()); !v3.Equal(cold) {
+		t.Fatalf("post-close cold Decide %v != cold %v", v3, cold)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"gpm/internal/core"
 	"gpm/internal/fault"
 	"gpm/internal/modes"
+	"gpm/internal/solver"
 	"gpm/internal/thermal"
 )
 
@@ -81,6 +82,16 @@ func BenchmarkEngine(b *testing.B) {
 	})
 	b.Run("plain-greedy-16", func(b *testing.B) {
 		benchLoop(b, 16, core.GreedyMaxBIPS{}, nil, false, false)
+	})
+	// The cold/warm BB pair prices the solver session: cold solves every
+	// interval from scratch; warm rides the loop-owned session (memo on the
+	// noiseless substrate's repeating telemetry, hint-floored solves
+	// otherwise). Same solver, same instances — the gap is the session.
+	b.Run("cold-bb-16", func(b *testing.B) {
+		benchLoop(b, 16, core.SolverPolicy{Solver: &solver.BB{}}, nil, false, false)
+	})
+	b.Run("warm-bb-16", func(b *testing.B) {
+		benchLoop(b, 16, core.NewSolverPolicy(&solver.BB{}), nil, false, false)
 	})
 }
 

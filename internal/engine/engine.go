@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"math"
 	"time"
 
 	"gpm/internal/core"
@@ -178,6 +179,17 @@ type Loop struct {
 	done        bool
 	degradedRun int // current consecutive rung>0 episode, for LongestDegraded
 
+	// Warm-start plumbing: the loop owns the policy's solver session (when
+	// the policy supports one) and decides per interval whether the previous
+	// actuated vector is a valid hint. warmed is false on the first decision
+	// and after any discontinuity the previous interval (emergency throttle,
+	// supervisor degradation); budget jumps and core death/completion are
+	// re-checked at decision time against prevBudget/prevDeadDone.
+	sessOwner    sessionOwner
+	warmed       bool
+	prevBudget   float64
+	prevDeadDone int
+
 	// Intra-interval cursor: d deltas of the current explore interval have
 	// run (0 = a decision is due), simmed of them were actually simulated.
 	d         int
@@ -256,6 +268,16 @@ func New(sub Substrate, opt Options) (*Loop, error) {
 	l.supRep, _ = l.decider.(supervisionReporter)
 	l.obs = opt.Observer
 
+	// Adopt the policy's solver session: one loop owns one policy, so the
+	// session's cross-interval state (scratch buffers, warm floors, Hier
+	// shares) is created here and torn down in Close.
+	if ph, ok := l.decider.(policyHolder); ok {
+		if so, ok := ph.Policy().(sessionOwner); ok {
+			so.EnsureSession()
+			l.sessOwner = so
+		}
+	}
+
 	// Bootstrap sample: the local monitors report each core's behaviour at
 	// Turbo before the first decision; cores dead at t=0 report nothing.
 	l.current = modes.Uniform(n, modes.Turbo)
@@ -328,6 +350,32 @@ func (l *Loop) decide() error {
 		}
 	}
 	l.budget = st.BudgetW
+	// Warm-start hint: hand the previous actuated vector to the decider
+	// only while the decision context is continuous. A budget step of more
+	// than 25% (a spike or brownout) or any change in the dead/finished
+	// core population invalidates it — the previous vector is then a poor
+	// (or shape-stale) seed, and a discontinuity is exactly when a fresh
+	// cold solve is cheapest to afford.
+	deadDone := 0
+	for c := 0; c < n; c++ {
+		if l.sub.Finished(c) || (l.inj != nil && l.inj.CoreDead(c, l.now)) {
+			deadDone++
+		}
+	}
+	warm := l.warmed
+	if deadDone != l.prevDeadDone {
+		warm = false
+	}
+	if l.prevBudget != 0 && math.Abs(l.budget-l.prevBudget) > 0.25*math.Abs(l.prevBudget) {
+		warm = false
+	}
+	l.prevDeadDone = deadDone
+	l.prevBudget = l.budget
+	var hint modes.Vector
+	if warm {
+		hint = l.current
+		res.Obs.WarmHints++
+	}
 	var t0 time.Time
 	if obs != nil {
 		t0 = time.Now()
@@ -339,6 +387,7 @@ func (l *Loop) decide() error {
 		Lookahead:  l.lookahead,
 		MemBound:   l.memBound,
 		Now:        l.now,
+		Hint:       hint,
 	})
 	inEmergency := l.emerg != nil && l.emerg.InEmergency()
 	if inEmergency {
@@ -369,6 +418,17 @@ func (l *Loop) decide() error {
 		} else {
 			l.degradedRun = 0
 		}
+	}
+	// The vector adopted below is a valid warm seed for the next decision
+	// unless it did not come from the policy's own solve: the guard's
+	// emergency throttle and every supervisor intervention (degraded rung,
+	// abandoned or wedged solve) actuate vectors the solver never chose.
+	l.warmed = true
+	if inEmergency {
+		l.warmed = false
+	}
+	if l.supRep != nil && (sup.Rung > 0 || sup.TimedOut || sup.Wedged) {
+		l.warmed = false
 	}
 	stall := l.opt.Plan.MaxTransitionBetween(l.current, next)
 	// Per-core stall power: the worst-case endpoint of the transition
@@ -545,6 +605,9 @@ func (l *Loop) Close() {
 	if l.sup != nil {
 		l.sup.stop()
 	}
+	if l.sessOwner != nil {
+		l.sessOwner.CloseSession()
+	}
 }
 
 // Finish seals the run accounting — elapsed time, final samples, overshoot
@@ -572,6 +635,14 @@ func (l *Loop) Finish() *Result {
 		if nr, ok := ph.Policy().(nodeReporter); ok {
 			if nodes, counted := nr.SolveNodes(); counted {
 				res.Obs.SolverNodes = nodes
+			}
+		}
+		if sr, ok := ph.Policy().(sessionReporter); ok {
+			if ss, on := sr.SessionStats(); on {
+				res.Obs.SolverMemoHits = ss.MemoHits
+				res.Obs.SolverWarmSolves = ss.WarmFloored
+				res.Obs.SolverHintReturns = ss.HintReturns
+				res.Obs.SolverPruned = ss.Pruned
 			}
 		}
 	}

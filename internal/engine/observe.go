@@ -5,6 +5,7 @@ import (
 
 	"gpm/internal/core"
 	"gpm/internal/modes"
+	"gpm/internal/solver"
 )
 
 // StageTrace is the observed effect of one middleware stage on one decision:
@@ -111,6 +112,22 @@ type ObsCounters struct {
 	// decisions, when the policy is solver-backed and counting is wired
 	// (core.SolverPolicy.NodeCount).
 	SolverNodes int64
+	// WarmHints counts decisions handed the previous actuated vector as a
+	// warm-start hint (the loop withholds it across discontinuities: first
+	// decision, budget jumps, core death/completion, emergency throttle,
+	// supervisor degradation).
+	WarmHints int
+	// SolverMemoHits/SolverWarmSolves/SolverHintReturns/SolverPruned
+	// snapshot the solver session's cumulative counters at Finish, when the
+	// policy owns one (solver.SessionStats): memo-answered solves,
+	// hint-floored BB solves, aborted solves answered by the hint, and
+	// pruned subtrees (SolverPruned/SolverNodes is the incumbent-prune
+	// rate; SolverNodes vs a cold run of the same scenario is the
+	// nodes-saved measure).
+	SolverMemoHits    int64
+	SolverWarmSolves  int64
+	SolverHintReturns int64
+	SolverPruned      int64
 	// TraceRecords counts DecisionTraces emitted to the attached Observer
 	// (zero when tracing is off).
 	TraceRecords int
@@ -145,6 +162,18 @@ type candidateReporter interface{ LastCandidate() modes.Vector }
 // nodeReporter is the optional Policy facet exposing cumulative solver node
 // counts (satisfied by core.SolverPolicy when NodeCount is wired).
 type nodeReporter interface{ SolveNodes() (int64, bool) }
+
+// sessionOwner is the optional Policy facet for warm-start solver sessions
+// (satisfied by *core.SolverPolicy): the loop creates the session when it
+// adopts the policy and tears it down on Close.
+type sessionOwner interface {
+	EnsureSession()
+	CloseSession()
+}
+
+// sessionReporter is the optional Policy facet exposing the session's
+// cumulative warm-start counters for Result.Obs.
+type sessionReporter interface{ SessionStats() (solver.SessionStats, bool) }
 
 // policyHolder lets the engine reach the decider's policy for nodeReporter.
 type policyHolder interface{ Policy() core.Policy }

@@ -18,17 +18,28 @@ import (
 // ClusterSize chips, exact BB inside each, slack rebalanced between them,
 // and EWMA share smoothing (HierAlpha) carrying grants across epochs — the
 // same machinery that scales the on-chip decision to 1000 cores, one level
-// up. A per-chip grant EWMA (GrantSmoothing) then damps epoch-to-epoch
-// oscillation, and grants rescale to the cap whenever smoothing overshoots
-// it, so Σ grants ≤ cap holds at every epoch — including the epoch right
-// after a mid-run cap cut, which is how a facility brownout cascades into
-// per-chip budgets and, through each engine's next decision, mode vectors.
+// up. The Hier runs inside a solver.Session: the share state lives there,
+// each epoch's solve is warm-started from the previous epoch's grant vector,
+// and the instance matrices reuse one flat backing, so the steady-state
+// epoch decision is allocation-free. A per-chip grant EWMA (GrantSmoothing)
+// then damps epoch-to-epoch oscillation, and grants rescale to the cap
+// whenever smoothing overshoots it, so Σ grants ≤ cap holds at every epoch —
+// including the epoch right after a mid-run cap cut, which is how a facility
+// brownout cascades into per-chip budgets and, through each engine's next
+// decision, mode vectors.
 type arbiter struct {
 	levels   []float64
 	plan     modes.Plan // len(Levels) == len(levels); solvers only read the mode count
-	hier     *solver.Hier
+	sess     *solver.Session
 	beta     float64
 	epochSec float64
+
+	// Reused epoch-solve state: the instance matrices (rows sliced from the
+	// flat backings) and the previous epoch's solution as the warm hint.
+	power, instr         [][]float64
+	powerFlat, instrFlat []float64
+	lastVec              modes.Vector
+	lastInstr            float64
 }
 
 func newArbiter(lib *trace.Library, cfg Config, chips []*chip) *arbiter {
@@ -36,11 +47,11 @@ func newArbiter(lib *trace.Library, cfg Config, chips []*chip) *arbiter {
 		levels:   cfg.Levels,
 		beta:     cfg.GrantSmoothing,
 		epochSec: cfg.Epoch.Seconds(),
-		hier: &solver.Hier{
+		sess: solver.NewSession(&solver.Hier{
 			ClusterSize: cfg.ClusterSize,
 			Inner:       &solver.BB{},
 			Alpha:       cfg.HierAlpha,
-		},
+		}),
 	}
 	// The solver reads only the plan's mode count; voltage scales are
 	// cosmetic here but keep the plan valid.
@@ -56,11 +67,34 @@ func newArbiter(lib *trace.Library, cfg Config, chips []*chip) *arbiter {
 	return a
 }
 
+// close releases the arbiter's solver session. Idempotent.
+func (a *arbiter) close() {
+	if a.sess != nil {
+		a.sess.Close()
+		a.sess = nil
+	}
+}
+
 func levelName(j int) string {
 	if j == 0 {
 		return "Full"
 	}
 	return "G" + string(rune('0'+j))
+}
+
+// ensureMatrices sizes the reused instance matrices for n chips × m levels.
+func (a *arbiter) ensureMatrices(n, m int) {
+	if len(a.power) == n && len(a.powerFlat) == n*m {
+		return
+	}
+	a.powerFlat = make([]float64, n*m)
+	a.instrFlat = make([]float64, n*m)
+	a.power = make([][]float64, n)
+	a.instr = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a.power[i] = a.powerFlat[i*m : (i+1)*m : (i+1)*m]
+		a.instr[i] = a.instrFlat[i*m : (i+1)*m : (i+1)*m]
+	}
 }
 
 // rebalance folds each chip's telemetry since the last epoch, solves the
@@ -77,8 +111,8 @@ func (a *arbiter) rebalance(f *Fleet, now time.Duration) EpochStats {
 		DemandInstr:  make([]float64, n),
 	}
 
-	power := make([][]float64, n)
-	instr := make([][]float64, n)
+	a.ensureMatrices(n, len(a.levels))
+	power, instr := a.power, a.instr
 	for i, c := range f.chips {
 		// Efficiency telemetry: committed instructions per joule over the
 		// last epoch, EWMA-blended so one noisy epoch cannot whipsaw the
@@ -97,8 +131,6 @@ func (a *arbiter) rebalance(f *Fleet, now time.Duration) EpochStats {
 		st.BacklogInstr[i] = c.backlogInstr
 		st.DemandInstr[i] = demand
 
-		power[i] = make([]float64, len(a.levels))
-		instr[i] = make([]float64, len(a.levels))
 		for j, frac := range a.levels {
 			w := frac * c.envelopeW
 			power[i][j] = w
@@ -110,16 +142,21 @@ func (a *arbiter) rebalance(f *Fleet, now time.Duration) EpochStats {
 		}
 	}
 
-	v, _ := a.hier.Solve(solver.Instance{
-		Plan:    a.plan,
-		BudgetW: st.FacilityCapW,
-		Power:   power,
-		Instr:   instr,
-	})
+	inst := solver.Instance{
+		Plan:      a.plan,
+		BudgetW:   st.FacilityCapW,
+		Power:     power,
+		Instr:     instr,
+		FlatPower: a.powerFlat,
+		FlatInstr: a.instrFlat,
+	}
+	v, _ := a.sess.Solve(inst, solver.Hint{Vector: a.lastVec, Instr: a.lastInstr})
+	a.lastVec = append(a.lastVec[:0], v...) // v aliases session scratch
+	a.lastInstr = inst.VectorInstr(a.lastVec)
 
 	var sum float64
 	for i := range f.chips {
-		g := power[i][v[i]]
+		g := power[i][a.lastVec[i]]
 		if a.beta > 0 {
 			g = a.beta*f.chips[i].grantW + (1-a.beta)*g
 		}

@@ -311,6 +311,9 @@ func (f *Fleet) closeChips() {
 	for _, c := range f.chips {
 		c.loop.Close()
 	}
+	if f.arbiter != nil {
+		f.arbiter.close()
+	}
 }
 
 // capW resolves the facility cap at time t.

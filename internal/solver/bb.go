@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -41,7 +42,9 @@ type BB struct {
 // Name implements Solver.
 func (*BB) Name() string { return "bb" }
 
-// frontier is the precomputed relaxation machinery for one instance.
+// frontier is the precomputed relaxation machinery for one instance. Its
+// slices double as reusable scratch: a Session rebuilds the same frontier
+// value every interval without allocating.
 type frontier struct {
 	// baseP/baseI are each core's minimum-power efficient point.
 	baseP, baseI []float64
@@ -49,42 +52,76 @@ type frontier struct {
 	sufP, sufI []float64
 	// segs are all cores' hull segments, sorted by decreasing ΔI/ΔP.
 	segs []segment
+	// pts/hull are per-core sort scratch for build.
+	pts, hull []hullPt
 }
 
 type segment struct {
 	core   int
 	dP, dI float64
 	ratio  float64
+	// seq is the pre-sort emission index; the fast sort uses it as the final
+	// tiebreak so its order equals the cold path's stable sort exactly.
+	seq int32
 }
+
+type hullPt struct{ p, i float64 }
 
 // buildFrontier computes per-core efficient frontiers (upper-left convex
 // hulls of the (power, instr) mode points) and the suffix aggregates the
 // bound needs.
 func buildFrontier(in Instance) *frontier {
+	f := &frontier{}
+	f.build(in, false)
+	return f
+}
+
+// build fills f in place, reusing its buffers. fast selects the
+// allocation-free sorts of the session path: insertion sort for the per-core
+// mode points and slices.SortFunc (with the seq tiebreak) for the global
+// segment order. Both produce exactly the cold path's order on finite
+// instances: point ties are value-identical duplicates, and the segment
+// comparator extended by seq is a total order whose restriction to
+// (ratio, core) matches sort.SliceStable's stable tie handling. Non-finite
+// entries (NaN keys) are only handled by the cold sorts, so sessions gate
+// the fast path on finiteInstance.
+func (f *frontier) build(in Instance, fast bool) {
 	n, m := in.NumCores(), in.NumModes()
-	f := &frontier{
-		baseP: make([]float64, n),
-		baseI: make([]float64, n),
-		sufP:  make([]float64, n+1),
-		sufI:  make([]float64, n+1),
-	}
-	type pt struct {
-		p, i float64
-	}
+	f.baseP = resizeFloats(f.baseP, n)
+	f.baseI = resizeFloats(f.baseI, n)
+	f.sufP = resizeFloats(f.sufP, n+1)
+	f.sufI = resizeFloats(f.sufI, n+1)
+	f.segs = f.segs[:0]
 	for c := 0; c < n; c++ {
-		pts := make([]pt, 0, m)
+		pts := f.pts[:0]
 		for mo := 0; mo < m; mo++ {
-			pts = append(pts, pt{in.Power[c][mo], in.Instr[c][mo]})
+			pts = append(pts, hullPt{in.Power[c][mo], in.Instr[c][mo]})
 		}
-		sort.Slice(pts, func(a, b int) bool {
-			if pts[a].p != pts[b].p {
-				return pts[a].p < pts[b].p
+		if fast {
+			// Insertion sort by (p asc, i desc): m is small and the keys are
+			// finite, so this matches sort.Slice's order (ties are
+			// value-identical points).
+			for a := 1; a < len(pts); a++ {
+				q := pts[a]
+				b := a - 1
+				for b >= 0 && (pts[b].p > q.p || (pts[b].p == q.p && pts[b].i < q.i)) {
+					pts[b+1] = pts[b]
+					b--
+				}
+				pts[b+1] = q
 			}
-			return pts[a].i > pts[b].i
-		})
+		} else {
+			sort.Slice(pts, func(a, b int) bool {
+				if pts[a].p != pts[b].p {
+					return pts[a].p < pts[b].p
+				}
+				return pts[a].i > pts[b].i
+			})
+		}
+		f.pts = pts
 		// Drop dominated points (≥ power for ≤ instr), then keep the concave
 		// hull: slopes must strictly decrease left to right.
-		hull := make([]pt, 0, m)
+		hull := f.hull[:0]
 		for _, q := range pts {
 			if len(hull) > 0 && q.i <= hull[len(hull)-1].i {
 				continue // dominated (incl. equal-power duplicates)
@@ -100,25 +137,45 @@ func buildFrontier(in Instance) *frontier {
 			}
 			hull = append(hull, q)
 		}
+		f.hull = hull
 		f.baseP[c] = hull[0].p
 		f.baseI[c] = hull[0].i
 		for k := 1; k < len(hull); k++ {
 			dP := hull[k].p - hull[k-1].p
 			dI := hull[k].i - hull[k-1].i
-			f.segs = append(f.segs, segment{core: c, dP: dP, dI: dI, ratio: dI / dP})
+			f.segs = append(f.segs, segment{
+				core: c, dP: dP, dI: dI, ratio: dI / dP, seq: int32(len(f.segs)),
+			})
 		}
 	}
 	for c := n - 1; c >= 0; c-- {
 		f.sufP[c] = f.sufP[c+1] + f.baseP[c]
 		f.sufI[c] = f.sufI[c+1] + f.baseI[c]
 	}
-	sort.SliceStable(f.segs, func(a, b int) bool {
-		if f.segs[a].ratio != f.segs[b].ratio {
-			return f.segs[a].ratio > f.segs[b].ratio
-		}
-		return f.segs[a].core < f.segs[b].core
-	})
-	return f
+	if fast {
+		slices.SortFunc(f.segs, func(a, b segment) int {
+			if a.ratio != b.ratio {
+				if a.ratio > b.ratio {
+					return -1
+				}
+				return 1
+			}
+			if a.core != b.core {
+				if a.core < b.core {
+					return -1
+				}
+				return 1
+			}
+			return int(a.seq - b.seq)
+		})
+	} else {
+		sort.SliceStable(f.segs, func(a, b int) bool {
+			if f.segs[a].ratio != f.segs[b].ratio {
+				return f.segs[a].ratio > f.segs[b].ratio
+			}
+			return f.segs[a].core < f.segs[b].core
+		})
+	}
 }
 
 // bound returns a throughput upper bound for completions of a prefix that
@@ -159,36 +216,77 @@ func (b *BB) Solve(in Instance) (modes.Vector, Stats) {
 // its incumbent, exactly like an exceeded NodeLimit.
 func (b *BB) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
-	st := Stats{Solver: b.Name(), Exact: true}
-	n := in.NumCores()
-	if n == 0 {
-		st.Elapsed = time.Since(start)
-		return modes.Vector{}, st
+	if in.NumCores() == 0 {
+		return modes.Vector{}, Stats{Solver: b.Name(), Exact: true, Elapsed: time.Since(start)}
 	}
 	f := buildFrontier(in)
-	st.UpperBoundInstr = f.bound(in, 0, 0, 0)
-
 	// Greedy incumbent seed. In LexTies mode the seed only tightens the
 	// pruning floor — the incumbent vector must be discovered by the lex
 	// DFS itself, or a greedy optimum could shadow a lex-smaller tie.
 	gv, _ := greedySolve(in, cp)
+	return b.solveFrom(in, cp, f, gv, math.Inf(-1), nil, start)
+}
+
+// bbScratch is a Session's reusable BB machinery: the frontier (with its
+// sort scratch) and the DFS state, so warm solves allocate nothing in
+// steady state.
+type bbScratch struct {
+	frontier frontier
+	state    bbState
+}
+
+// solveFrom runs the branch-and-bound DFS over a prebuilt frontier with a
+// given greedy seed and an optional extra pruning floor (the session's warm
+// hint, re-scored on this instance). The floor only tightens pruning — it
+// never seeds the incumbent vector — so for any floor ≤ the instance
+// optimum the returned vector is bit-identical to a cold solve in both tie
+// modes:
+//
+//   - the final incumbent is the first-visited leaf maximizing
+//     (throughput, −power) among feasible leaves, and every subtree holding
+//     such a leaf has a relaxation bound strictly above the optimum (bound
+//     adds positive relative slack), so no floor ≤ the optimum prunes it
+//     under either the `< floor` (LexTies / no incumbent yet) or `≤ floor`
+//     (incumbent held) test;
+//   - visit order is fixed by the DFS and leaves score with the same
+//     canonical sums, so the incumbent replacement chain ends identically.
+//
+// sc, when non-nil, supplies reusable DFS state (vector and incumbent
+// buffers); the returned vector then aliases it.
+func (b *BB) solveFrom(in Instance, cp *Checkpoint, f *frontier, gv modes.Vector, warmFloor float64, sc *bbScratch, start time.Time) (modes.Vector, Stats) {
+	st := Stats{Solver: b.Name(), Exact: true}
+	st.UpperBoundInstr = f.bound(in, 0, 0, 0)
 	gp := in.VectorPower(gv)
 	gt := in.VectorInstr(gv)
 	seedFeasible := gp <= in.BudgetW
 
-	s := &bbState{in: in, f: f, limit: b.NodeLimit, lexTies: b.LexTies, cp: cp}
+	var s *bbState
+	if sc != nil {
+		s = &sc.state
+	} else {
+		s = &bbState{}
+	}
+	v, best := s.v, s.best
+	*s = bbState{in: in, f: f, limit: b.NodeLimit, lexTies: b.LexTies, cp: cp, v: v, best: best}
 	s.bestT, s.bestP = -1, 0
 	if seedFeasible {
 		s.floor = gt
 		if !b.LexTies {
 			s.have = true
-			s.best = gv.Clone()
+			s.best = append(s.best[:0], gv...)
 			s.bestT, s.bestP = gt, gp
 		}
 	} else {
 		s.floor = math.Inf(-1)
 	}
-	s.v = make(modes.Vector, n)
+	if warmFloor > s.floor {
+		s.floor = warmFloor
+	}
+	n := in.NumCores()
+	if cap(s.v) < n {
+		s.v = make(modes.Vector, n)
+	}
+	s.v = s.v[:n]
 	s.rec(0, 0, 0)
 
 	st.Nodes, st.Pruned = s.nodes, s.pruned
@@ -214,7 +312,7 @@ type bbState struct {
 	v            modes.Vector
 	best         modes.Vector
 	bestT, bestP float64
-	floor        float64 // pruning floor: max of seed and incumbent throughput
+	floor        float64 // pruning floor: max of seed, warm hint and incumbent
 	have         bool
 	nodes        int64
 	pruned       int64
@@ -251,7 +349,7 @@ func (s *bbState) rec(c int, usedP, usedI float64) {
 		t := in.VectorInstr(s.v)
 		if !s.have || better(t, p, s.bestT, s.bestP) {
 			s.have = true
-			if s.best == nil {
+			if len(s.best) != len(s.v) {
 				s.best = make(modes.Vector, len(s.v))
 			}
 			copy(s.best, s.v)

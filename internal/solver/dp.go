@@ -47,11 +47,29 @@ func (d *DP) Solve(in Instance) (modes.Vector, Stats) {
 	return d.SolveBounded(in, nil)
 }
 
+// dpScratch is a Session's reusable DP table memory: flat weight and choice
+// tables plus the two rolling value rows. Reuse is purely an allocation
+// saving — every cell the solve reads is rewritten for the new instance
+// (resizeFloats zeroes the base-case row; choice cells are written
+// unconditionally), so results match fresh tables bit-for-bit.
+type dpScratch struct {
+	weight []int     // [core*modes + mode] rounded-up weights in quanta
+	dp     []float64 // rolling value row, w = 0..W
+	ndp    []float64
+	choice []uint8 // [core*(W+1) + w] reconstruction table
+}
+
 // SolveBounded implements Bounded. The checkpoint is consulted once per
 // core row of the table (each row is (budget/quantum+1) × modes cells); an
 // aborted solve discards the partial table and returns the greedy answer
 // with GapBound 1 — the same anytime fallback the degenerate cases use.
 func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
+	return d.solveWith(in, cp, nil)
+}
+
+// solveWith is SolveBounded with optional session scratch; sc == nil
+// allocates fresh tables (the cold path).
+func (d *DP) solveWith(in Instance, cp *Checkpoint, sc *dpScratch) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: d.Name()}
 	n, m := in.NumCores(), in.NumModes()
@@ -76,24 +94,31 @@ func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	}
 	W := int(in.BudgetW / q)
 
+	if sc == nil {
+		sc = &dpScratch{}
+	}
 	// Rounded-up weights in quanta; entries beyond W can never fit.
-	weight := make([][]int, n)
+	sc.weight = resizeInts(sc.weight, n*m)
+	weight := sc.weight
 	for c := 0; c < n; c++ {
-		weight[c] = make([]int, m)
+		row := weight[c*m : (c+1)*m]
 		for mo := 0; mo < m; mo++ {
 			w := int(math.Ceil(in.Power[c][mo] / q))
 			if w < 0 {
 				w = 0
 			}
-			weight[c][mo] = w
+			row[mo] = w
 		}
 	}
 
 	// dp[w] = best throughput over cores 0..c with rounded power ≤ w quanta.
+	// The base case must be all-zeros (no cores, no instructions) —
+	// resizeFloats guarantees it.
 	negInf := math.Inf(-1)
-	dp := make([]float64, W+1)
-	ndp := make([]float64, W+1)
-	choice := make([][]uint8, n)
+	sc.dp = resizeFloats(sc.dp, W+1)
+	sc.ndp = resizeFloats(sc.ndp, W+1)
+	sc.choice = resizeBytes(sc.choice, n*(W+1))
+	dp, ndp, choice := sc.dp, sc.ndp, sc.choice
 	for c := 0; c < n; c++ {
 		if cp.Visit(int64(W+1) * int64(m)) {
 			// Deadline hit mid-table: the partial table is useless, so fall
@@ -106,11 +131,12 @@ func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 			st.Elapsed = time.Since(start)
 			return v, st
 		}
-		choice[c] = make([]uint8, W+1)
+		wrow := weight[c*m : (c+1)*m]
+		crow := choice[c*(W+1) : (c+1)*(W+1)]
 		for w := 0; w <= W; w++ {
 			best, bm := negInf, -1
 			for mo := 0; mo < m; mo++ {
-				wc := weight[c][mo]
+				wc := wrow[mo]
 				if wc > w {
 					continue
 				}
@@ -125,12 +151,16 @@ func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 				}
 			}
 			ndp[w] = best
+			// Write unconditionally — reused cells may hold a stale choice.
+			ch := uint8(0)
 			if bm >= 0 {
-				choice[c][w] = uint8(bm)
+				ch = uint8(bm)
 			}
+			crow[w] = ch
 		}
 		dp, ndp = ndp, dp
 	}
+	sc.dp, sc.ndp = dp, ndp
 	st.Nodes = int64(n) * int64(W+1) * int64(m)
 
 	// Gap certificate from the fractional relaxation.
@@ -156,9 +186,9 @@ func (d *DP) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 		v = make(modes.Vector, n)
 		w := bestW
 		for c := n - 1; c >= 0; c-- {
-			mo := int(choice[c][w])
+			mo := int(choice[c*(W+1)+w])
 			v[c] = modes.Mode(mo)
-			w -= weight[c][mo]
+			w -= weight[c*m+mo]
 		}
 	}
 

@@ -20,8 +20,10 @@ import (
 // non-zero the shares are additionally smoothed across Solve calls —
 // share = Alpha·previous + (1−Alpha)·demand — so a cluster whose workload
 // ramps keeps part of its grant between explore intervals instead of being
-// re-zeroed by one quiet sample (inter-interval rebalancing). The decision
-// cost is O(cores²·modes) for the demand pass plus numClusters independent
+// re-zeroed by one quiet sample (inter-interval rebalancing). The previous
+// grants live in the Session driving the solver, so bare Solve calls (no
+// session) are stateless: Alpha then behaves as 0. The decision cost is
+// O(cores²·modes) for the demand pass plus numClusters independent
 // ClusterSize-core solves.
 type Hier struct {
 	// ClusterSize is the number of cores per cluster (default 8).
@@ -31,11 +33,9 @@ type Hier struct {
 	// RebalancePasses is the number of slack-redistribution rounds after
 	// the initial per-share solve (default 2).
 	RebalancePasses int
-	// Alpha in [0,1) smooths shares across calls; 0 (default) is stateless.
+	// Alpha in [0,1) smooths shares across calls when driven through a
+	// Session; without one it is ignored (stateless solve).
 	Alpha float64
-
-	mu     sync.Mutex
-	shares []float64 // previous grants, when Alpha > 0
 }
 
 // Name implements Solver.
@@ -55,6 +55,35 @@ func (h *Hier) inner() Solver {
 	return h.Inner
 }
 
+// hierState is a Session's cross-interval Hier memory: the Alpha-smoothed
+// share grants, the previously returned vector (sliced into per-cluster warm
+// hints), one child Session per cluster (scratch + warm floors for the inner
+// solver), the heap-greedy scratch for the demand pass, and the output
+// buffers. It replaces the mutex-guarded shares that used to live inside
+// Hier itself, so the solver value is now immutable during Solve.
+type hierState struct {
+	shares []float64 // previous grants, when Alpha > 0
+	prev   modes.Vector
+	inner  []*Session
+	gs     greedyScratch
+	out    modes.Vector
+	cur    []float64
+	used   []float64
+	nodes  []int64
+}
+
+// ensureInner sizes the per-cluster child sessions, closing any extras when
+// the cluster count shrinks.
+func (hs *hierState) ensureInner(h *Hier, nc int) {
+	for len(hs.inner) > nc {
+		hs.inner[len(hs.inner)-1].Close()
+		hs.inner = hs.inner[:len(hs.inner)-1]
+	}
+	for len(hs.inner) < nc {
+		hs.inner = append(hs.inner, NewSession(h.inner()))
+	}
+}
+
 // Solve implements Solver.
 func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 	return h.SolveBounded(in, nil)
@@ -65,6 +94,18 @@ func (h *Hier) Solve(in Instance) (modes.Vector, Stats) {
 // rebalance rounds; an exhausted checkpoint returns the best chip-feasible
 // vector assembled so far, falling back to the greedy demand vector.
 func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
+	return h.solveWith(in, cp, nil, Hint{})
+}
+
+// solveWith is SolveBounded plus the session path: hs carries cross-interval
+// state and reusable buffers, hint the previously actuated chip vector. With
+// hs == nil the solve is stateless and allocates fresh buffers.
+//
+// Known divergence on an exotic config: when Inner is a *Deadline wrapper,
+// the stateless path calls its Solve (arming the wrapper's own budgets),
+// while child sessions unwrap it and thread the parent checkpoint instead —
+// wrap Hier itself in WithDeadline to bound the whole decision uniformly.
+func (h *Hier) solveWith(in Instance, cp *Checkpoint, hs *hierState, hint Hint) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: h.Name()}
 	n := in.NumCores()
@@ -76,34 +117,52 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	k := h.clusterSize()
 	inner := h.inner()
 	if k >= n {
-		v, ist := SolveBounded(inner, in, cp)
+		// One cluster: delegate whole. The child session gives the inner
+		// solver scratch reuse and the chip-level warm hint.
+		var v modes.Vector
+		var ist Stats
+		if hs != nil {
+			hs.ensureInner(h, 1)
+			v, ist = hs.inner[0].solveBounded(in, hint, cp)
+		} else {
+			v, ist = SolveBounded(inner, in, cp)
+		}
 		ist.Solver = st.Solver
 		ist.Elapsed = time.Since(start)
 		return v, ist
 	}
 
-	type cluster struct{ lo, hi int }
-	var clusters []cluster
-	for lo := 0; lo < n; lo += k {
-		hi := lo + k
-		if hi > n {
-			hi = n
+	nc := (n + k - 1) / k
+	lo := func(i int) int { return i * k }
+	hi := func(i int) int {
+		h := (i + 1) * k
+		if h > n {
+			h = n
 		}
-		clusters = append(clusters, cluster{lo, hi})
+		return h
 	}
-
 	sub := func(i int, shareW float64) Instance {
-		cl := clusters[i]
-		return Instance{
+		s := Instance{
 			Plan:    in.Plan,
 			BudgetW: shareW,
-			Power:   in.Power[cl.lo:cl.hi],
-			Instr:   in.Instr[cl.lo:cl.hi],
+			Power:   in.Power[lo(i):hi(i)],
+			Instr:   in.Instr[lo(i):hi(i)],
 		}
+		if m := in.NumModes(); len(in.FlatPower) == n*m {
+			s.FlatPower = in.FlatPower[lo(i)*m : hi(i)*m]
+			s.FlatInstr = in.FlatInstr[lo(i)*m : hi(i)*m]
+		}
+		return s
 	}
 
 	// Global level: greedy demand shares plus an even headroom split.
-	gv, gnodes := greedySolve(in, cp)
+	var gv modes.Vector
+	var gnodes int64
+	if hs != nil && finiteInstance(in) {
+		gv, gnodes = heapGreedy(in, cp, &hs.gs)
+	} else {
+		gv, gnodes = greedySolve(in, cp)
+	}
 	st.Nodes += gnodes
 	if cp.Aborted() {
 		// No time for the two-level decomposition: the (possibly partial)
@@ -112,59 +171,87 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 		st.Elapsed = time.Since(start)
 		return gv, st
 	}
-	shares := make([]float64, len(clusters))
+	var shares []float64
+	if hs != nil {
+		hs.cur = resizeFloats(hs.cur, nc) // zeroed: shares accumulate with +=
+		shares = hs.cur
+	} else {
+		shares = make([]float64, nc)
+	}
 	var demand float64
-	for i, cl := range clusters {
-		for c := cl.lo; c < cl.hi; c++ {
+	for i := 0; i < nc; i++ {
+		for c := lo(i); c < hi(i); c++ {
 			shares[i] += in.Power[c][gv[c]]
 		}
 		demand += shares[i]
 	}
 	if headroom := in.BudgetW - demand; headroom > 0 {
 		for i := range shares {
-			shares[i] += headroom / float64(len(shares))
+			shares[i] += headroom / float64(nc)
 		}
 	}
 
 	// Inter-interval smoothing: blend with the previous grants, then scale
 	// back under the budget if the blend overshoots it.
-	if h.Alpha > 0 {
-		h.mu.Lock()
-		if len(h.shares) == len(shares) {
-			var sum float64
+	if h.Alpha > 0 && hs != nil && len(hs.shares) == len(shares) {
+		var sum float64
+		for i := range shares {
+			shares[i] = h.Alpha*hs.shares[i] + (1-h.Alpha)*shares[i]
+			sum += shares[i]
+		}
+		if sum > in.BudgetW && sum > 0 {
+			scale := in.BudgetW / sum
 			for i := range shares {
-				shares[i] = h.Alpha*h.shares[i] + (1-h.Alpha)*shares[i]
-				sum += shares[i]
-			}
-			if sum > in.BudgetW && sum > 0 {
-				scale := in.BudgetW / sum
-				for i := range shares {
-					shares[i] *= scale
-				}
+				shares[i] *= scale
 			}
 		}
-		h.mu.Unlock()
 	}
 
-	// Local level: independent per-cluster solves, concurrently.
-	out := make(modes.Vector, n)
-	used := make([]float64, len(clusters))
-	nodes := make([]int64, len(clusters))
+	// Local level: independent per-cluster solves, concurrently. With a
+	// session, each cluster has its own child session (sessions are not
+	// concurrency-safe, so they must not be shared across the goroutines)
+	// warmed by the matching slice of the previous chip vector.
+	var out modes.Vector
+	var used []float64
+	var nodes []int64
+	if hs != nil {
+		hs.out = resizeVector(hs.out, n)
+		hs.used = resizeFloats(hs.used, nc)
+		hs.nodes = resizeInt64s(hs.nodes, nc)
+		out, used, nodes = hs.out, hs.used, hs.nodes
+	} else {
+		out = make(modes.Vector, n)
+		used = make([]float64, nc)
+		nodes = make([]int64, nc)
+	}
+	solveCluster := func(i int, s Instance) (modes.Vector, Stats) {
+		if hs != nil {
+			ch := Hint{}
+			if len(hs.prev) == n {
+				ch = Hint{Vector: hs.prev[lo(i):hi(i)]}
+			}
+			return hs.inner[i].solveBounded(s, ch, cp)
+		}
+		return SolveBounded(inner, s, cp)
+	}
+	if hs != nil {
+		hs.ensureInner(h, nc)
+	}
 	var wg sync.WaitGroup
-	for i := range clusters {
+	for i := 0; i < nc; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			s := sub(i, shares[i])
-			v, ist := SolveBounded(inner, s, cp)
-			copy(out[clusters[i].lo:clusters[i].hi], v)
+			v, ist := solveCluster(i, s)
+			copy(out[lo(i):hi(i)], v)
 			used[i] = s.VectorPower(v)
 			nodes[i] = ist.Nodes
 		}(i)
 	}
 	wg.Wait()
 	var spent float64
-	for i := range clusters {
+	for i := 0; i < nc; i++ {
 		st.Nodes += nodes[i]
 		spent += used[i]
 	}
@@ -178,7 +265,7 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	eps := in.budgetEps()
 	for pass := 0; pass < passes && !cp.Aborted(); pass++ {
 		improved := false
-		for i := range clusters {
+		for i := 0; i < nc; i++ {
 			if cp.Aborted() {
 				break
 			}
@@ -187,13 +274,13 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 				break
 			}
 			s := sub(i, used[i]+slack)
-			v, ist := SolveBounded(inner, s, cp)
+			v, ist := solveCluster(i, s)
 			st.Nodes += ist.Nodes
 			p := s.VectorPower(v)
 			if p != used[i] {
 				improved = true
 			}
-			copy(out[clusters[i].lo:clusters[i].hi], v)
+			copy(out[lo(i):hi(i)], v)
 			spent += p - used[i]
 			used[i] = p
 		}
@@ -202,10 +289,8 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 		}
 	}
 
-	if h.Alpha > 0 {
-		h.mu.Lock()
-		h.shares = append(h.shares[:0], used...)
-		h.mu.Unlock()
+	if h.Alpha > 0 && hs != nil {
+		hs.shares = append(hs.shares[:0], used...)
 	}
 
 	// The per-cluster canonical sums can differ from the chip-level sum by
@@ -214,6 +299,9 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	// whenever anything is.
 	if in.VectorPower(out) > in.BudgetW {
 		out = gv
+	}
+	if hs != nil {
+		hs.prev = append(hs.prev[:0], out...)
 	}
 	st.Aborted = cp.Aborted()
 	st.Elapsed = time.Since(start)

@@ -1,0 +1,395 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpm/internal/modes"
+)
+
+// driftInstance perturbs an instance the way consecutive explore intervals
+// do: small multiplicative telemetry noise on every matrix entry, with
+// occasional exact repeats (a memo opportunity) and occasional budget moves.
+func driftInstance(rng *rand.Rand, in Instance) Instance {
+	switch rng.Intn(6) {
+	case 0:
+		return in // bit-identical repeat: the memo's case
+	case 1:
+		in.BudgetW *= 0.9 + 0.2*rng.Float64() // budget step, matrices held
+		return in
+	}
+	out := Instance{Plan: in.Plan, BudgetW: in.BudgetW,
+		Power: make([][]float64, len(in.Power)), Instr: make([][]float64, len(in.Instr))}
+	for c := range in.Power {
+		out.Power[c] = append([]float64(nil), in.Power[c]...)
+		out.Instr[c] = append([]float64(nil), in.Instr[c]...)
+		for mo := range out.Power[c] {
+			out.Power[c][mo] *= 1 + 0.02*(rng.Float64()-0.5)
+			out.Instr[c][mo] *= 1 + 0.02*(rng.Float64()-0.5)
+		}
+	}
+	if rng.Intn(4) == 0 {
+		out.BudgetW *= 0.95 + 0.1*rng.Float64()
+	}
+	return out
+}
+
+// TestWarmVsColdBitIdentical is the tentpole's result-invariance pin: over
+// seeded telemetry-delta sequences, a session solve fed the previous
+// interval's vector as a hint must return the bit-identical vector of a cold
+// solve of the same solver on the same instance — for every solver the
+// registry can build, including the LexTies BB whose tie representative is
+// the most fragile property a warm floor could disturb.
+func TestWarmVsColdBitIdentical(t *testing.T) {
+	type cfg struct {
+		name string
+		mk   func() Solver
+		n    int
+	}
+	cfgs := []cfg{
+		{"bb", func() Solver { return &BB{} }, 12},
+		{"bb-lexties", func() Solver { return &BB{LexTies: true} }, 10},
+		{"dp", func() Solver { return &DP{} }, 12},
+		{"hier", func() Solver { return &Hier{ClusterSize: 4} }, 12},
+		{"greedy", func() Solver { return Greedy{} }, 16},
+		{"exhaustive", func() Solver { return &Exhaustive{} }, 7},
+	}
+	const seeds = 4 // × 6 solvers = 24 sequences ≥ the 20 the issue demands
+	const steps = 12
+	for _, c := range cfgs {
+		for seed := int64(0); seed < seeds; seed++ {
+			cold := c.mk()
+			ses := NewSession(c.mk())
+			rng := rand.New(rand.NewSource(1000*seed + 7))
+			in := randInstance(seed+300, c.n, plan3(), 0.55+0.3*rng.Float64())
+			var hint Hint
+			for step := 0; step < steps; step++ {
+				cv, _ := cold.Solve(in)
+				wv, wst := ses.Solve(in, hint)
+				if !cv.Equal(wv) {
+					t.Fatalf("%s seed %d step %d: warm %v != cold %v (hint %v)",
+						c.name, seed, step, wv, cv, hint.Vector)
+				}
+				if wst.Aborted {
+					t.Fatalf("%s seed %d step %d: unbudgeted session solve aborted", c.name, seed, step)
+				}
+				hint = Hint{Vector: wv.Clone(), Instr: in.VectorInstr(wv)}
+				in = driftInstance(rng, in)
+			}
+			ses.Close()
+		}
+	}
+}
+
+// TestWarmVsColdGarbageHints pins that hostile hints — wrong width, modes out
+// of range, infeasible vectors — degrade to cold solves, never to different
+// or infeasible answers.
+func TestWarmVsColdGarbageHints(t *testing.T) {
+	in := randInstance(77, 10, plan3(), 0.7)
+	cold := &BB{}
+	want, _ := cold.Solve(in)
+	bad := []Hint{
+		{},
+		{Vector: modes.Vector{0, 1}},                                     // wrong width
+		{Vector: modes.Uniform(10, modes.Mode(99))},                      // mode out of range
+		{Vector: modes.Uniform(10, modes.Turbo), Instr: math.Inf(1)},     // infeasible (all-Turbo over budget)
+		{Vector: modes.Uniform(10, modes.Mode(in.NumModes() - 1))},       // feasible but weak
+		{Vector: append(modes.Vector(nil), want...), Instr: math.NaN()},  // the optimum itself
+	}
+	for i, h := range bad {
+		ses := NewSession(&BB{})
+		got, st := ses.Solve(in, h)
+		if !got.Equal(want) {
+			t.Fatalf("hint %d: got %v want %v", i, got, want)
+		}
+		if !st.Exact {
+			t.Fatalf("hint %d: warm BB lost exactness", i)
+		}
+		ses.Close()
+	}
+}
+
+// TestHeapGreedyMatchesScan pins the session's O(n·m·log n) heap greedy
+// against the canonical O(n²·m) scan kernel, including instances with
+// negative upgrade deltas (non-monotone power columns) where infeasible
+// candidates must be reconsidered after power drops.
+func TestHeapGreedyMatchesScan(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		n := 4 + int(seed%13)
+		in := randInstance(seed, n, plan3(), 0.4+0.05*float64(seed%10))
+		var g greedyScratch
+		hv, _ := heapGreedy(in, nil, &g)
+		sv, _ := greedySolve(in, nil)
+		if !sv.Equal(hv) {
+			t.Fatalf("seed %d: heap %v != scan %v", seed, hv, sv)
+		}
+	}
+	// Adversarial: make some upgrades REDUCE power (mode 1 hungrier than
+	// mode 0), so feasibility is non-monotone along the upgrade sequence.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		in := randInstance(int64(trial)+600, n, plan3(), 0.5+0.4*rng.Float64())
+		for c := 0; c < n; c++ {
+			if rng.Intn(3) == 0 {
+				in.Power[c][1] = in.Power[c][0] * (1.1 + rng.Float64()) // upgrade 1→0 frees power
+			}
+		}
+		var g greedyScratch
+		hv, _ := heapGreedy(in, nil, &g)
+		sv, _ := greedySolve(in, nil)
+		if !sv.Equal(hv) {
+			t.Fatalf("adversarial trial %d: heap %v != scan %v", trial, hv, sv)
+		}
+	}
+}
+
+// TestSessionMemo pins the instance memo: bit-identical re-solves are
+// answered without search, and any entry change misses.
+func TestSessionMemo(t *testing.T) {
+	ses := NewSession(&BB{})
+	defer ses.Close()
+	in := randInstance(5, 10, plan3(), 0.7)
+	v1, _ := ses.Solve(in, Hint{})
+	v1 = v1.Clone()
+	v2, st2 := ses.Solve(in, Hint{})
+	if !v1.Equal(v2) {
+		t.Fatalf("memo hit returned %v, first solve %v", v2, v1)
+	}
+	if st2.Nodes != 0 {
+		t.Fatalf("memo hit reported %d nodes, want 0", st2.Nodes)
+	}
+	if got := ses.Stats().MemoHits; got != 1 {
+		t.Fatalf("MemoHits = %d, want 1", got)
+	}
+	// The memo must key on the matrix *values*, not the slice identity:
+	// mutate one entry in place and re-solve.
+	in.Instr[3][0] *= 2
+	_, st3 := ses.Solve(in, Hint{})
+	if st3.Nodes == 0 {
+		t.Fatal("mutated instance still hit the memo")
+	}
+	if got := ses.Stats().MemoHits; got != 1 {
+		t.Fatalf("MemoHits after mutation = %d, want 1", got)
+	}
+	// Two instances alternating (Hier's rebalance pattern) must both hit.
+	inB := randInstance(6, 10, plan3(), 0.6)
+	ses.Solve(inB, Hint{})
+	before := ses.Stats().MemoHits
+	ses.Solve(in, Hint{})
+	ses.Solve(inB, Hint{})
+	if got := ses.Stats().MemoHits - before; got != 2 {
+		t.Fatalf("alternating instances: %d memo hits, want 2", got)
+	}
+}
+
+// TestSessionSteadyStateAllocs pins the 0-alloc steady state for the warm
+// paths: after warmup, BB solves over drifting telemetry, Hier solves, and
+// memo-hit repeats must not allocate per decision.
+func TestSessionSteadyStateAllocs(t *testing.T) {
+	plan := plan3()
+	t.Run("bb-drift", func(t *testing.T) {
+		ses := NewSession(&BB{})
+		defer ses.Close()
+		a := randInstance(11, 32, plan, 0.7)
+		b := randInstance(11, 32, plan, 0.7)
+		for c := range b.Power {
+			for mo := range b.Power[c] {
+				b.Power[c][mo] *= 1.001
+			}
+		}
+		var hint Hint
+		v, _ := ses.Solve(a, hint)
+		hint = Hint{Vector: v.Clone()}
+		use := a
+		allocs := testing.AllocsPerRun(50, func() {
+			if use.Power[0][0] == a.Power[0][0] {
+				use = b
+			} else {
+				use = a
+			}
+			v, _ := ses.Solve(use, hint)
+			copy(hint.Vector, v)
+		})
+		if allocs != 0 {
+			t.Fatalf("warm BB drift steady state allocates %.1f/op, want 0", allocs)
+		}
+	})
+	t.Run("memo-hit", func(t *testing.T) {
+		ses := NewSession(&BB{})
+		defer ses.Close()
+		in := randInstance(12, 64, plan, 0.7)
+		ses.Solve(in, Hint{})
+		ses.Solve(in, Hint{})
+		allocs := testing.AllocsPerRun(100, func() { ses.Solve(in, Hint{}) })
+		if allocs != 0 {
+			t.Fatalf("memo hit allocates %.1f/op, want 0", allocs)
+		}
+	})
+	t.Run("greedy", func(t *testing.T) {
+		ses := NewSession(Greedy{})
+		defer ses.Close()
+		in := randInstance(13, 64, plan, 0.7)
+		in2 := randInstance(14, 64, plan, 0.7)
+		ses.Solve(in, Hint{})
+		ses.Solve(in2, Hint{})
+		use := in
+		allocs := testing.AllocsPerRun(100, func() {
+			if use.Power[0][0] == in.Power[0][0] {
+				use = in2
+			} else {
+				use = in
+			}
+			ses.Solve(use, Hint{})
+		})
+		if allocs != 0 {
+			t.Fatalf("warm greedy allocates %.1f/op, want 0", allocs)
+		}
+	})
+}
+
+// TestSessionDeadlineWarm covers the solver.WithDeadline × warm-start
+// interaction (satellite 3): an aborted warm solve must return a feasible
+// vector at least as good as the hint — the hint qualifies as an incumbent —
+// and a completed solve must never be overridden by the hint.
+func TestSessionDeadlineWarm(t *testing.T) {
+	in := randInstance(21, 24, plan3(), 0.7)
+	// A 1-node budget aborts BB immediately: the DFS cannot even reach a
+	// leaf, so without a hint the greedy seed is the incumbent.
+	ses := NewSession(WithDeadline(&BB{}, 0, 1))
+	defer ses.Close()
+
+	cold, _ := (&BB{}).Solve(in)
+	hint := Hint{Vector: cold.Clone(), Instr: in.VectorInstr(cold)}
+
+	v, st := ses.Solve(in, hint)
+	if !st.Aborted {
+		t.Fatal("1-node budget did not abort")
+	}
+	if st.Exact {
+		t.Fatal("aborted solve claims exactness")
+	}
+	if p := in.VectorPower(v); p > in.BudgetW+in.budgetEps() {
+		t.Fatalf("aborted warm solve infeasible: %g > %g", p, in.BudgetW)
+	}
+	// The hint is the true optimum here, so the anytime answer must be it.
+	if !v.Equal(cold) {
+		t.Fatalf("aborted warm solve returned %v, want the (optimal) hint %v", v, cold)
+	}
+	if ses.Stats().HintReturns == 0 {
+		t.Fatal("HintReturns not counted")
+	}
+
+	// A *weak but feasible* hint must never drag the answer below what the
+	// solver found on its own, and the answer must never drop below the hint:
+	// the anytime floor is max(incumbent, hint). (The greedy seed is itself
+	// node-charged, so under a 1-node budget it may be partial — the hint is
+	// the only uncharged floor.)
+	weak := Hint{Vector: in.deepestVector()}
+	v2, st2 := ses.Solve(in, weak)
+	if !st2.Aborted {
+		t.Fatal("second solve did not abort")
+	}
+	if p := in.VectorPower(v2); p > in.BudgetW+in.budgetEps() {
+		t.Fatalf("aborted solve infeasible: %g > %g", p, in.BudgetW)
+	}
+	if in.VectorInstr(v2) < in.VectorInstr(weak.Vector) {
+		t.Fatalf("aborted solve returned %v, weaker than its own hint %v", v2, weak.Vector)
+	}
+
+	// Unbudgeted session: completed solves ignore even an optimal hint's
+	// vector identity (the solver's own result is returned, bit-identical).
+	ses2 := NewSession(&BB{})
+	defer ses2.Close()
+	v3, st3 := ses2.Solve(in, hint)
+	if st3.Aborted || !st3.Exact {
+		t.Fatal("unbudgeted solve aborted")
+	}
+	if !v3.Equal(cold) {
+		t.Fatalf("completed warm solve %v != cold %v", v3, cold)
+	}
+}
+
+// TestSessionDeadlineDeterministicNodes pins that a node-budget session
+// abort is deterministic call-to-call (same instance, same hint, same cut).
+func TestSessionDeadlineDeterministicNodes(t *testing.T) {
+	in := randInstance(31, 20, plan3(), 0.65)
+	hint := Hint{Vector: in.deepestVector()}
+	run := func() (modes.Vector, Stats) {
+		ses := NewSession(WithDeadline(&BB{}, 0, 500))
+		defer ses.Close()
+		v, st := ses.Solve(in, hint)
+		return v.Clone(), st
+	}
+	v1, st1 := run()
+	v2, st2 := run()
+	if !v1.Equal(v2) {
+		t.Fatalf("node-budget abort not deterministic: %v vs %v", v1, v2)
+	}
+	if st1.Nodes != st2.Nodes {
+		t.Fatalf("node counts differ: %d vs %d", st1.Nodes, st2.Nodes)
+	}
+}
+
+// TestSessionClose pins lifecycle hygiene: Close is idempotent and use after
+// Close panics loudly instead of corrupting shared scratch.
+func TestSessionClose(t *testing.T) {
+	ses := NewSession(&Hier{ClusterSize: 2, Alpha: 0.5})
+	in := randInstance(41, 8, plan3(), 0.7)
+	ses.Solve(in, Hint{})
+	ses.Close()
+	ses.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Solve after Close did not panic")
+		}
+	}()
+	ses.Solve(in, Hint{})
+}
+
+// TestOptionsValidate is the satellite-2 table: negative or non-finite
+// Options fields must fail with a typed *OptionError naming the field.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		opt   Options
+		field string // "" = valid
+	}{
+		{"zero", Options{}, ""},
+		{"positive", Options{QuantumW: 0.5, ClusterSize: 4, Workers: 2, NodeLimit: 1000}, ""},
+		{"neg-quantum", Options{QuantumW: -0.5}, "QuantumW"},
+		{"nan-quantum", Options{QuantumW: math.NaN()}, "QuantumW"},
+		{"inf-quantum", Options{QuantumW: math.Inf(1)}, "QuantumW"},
+		{"neg-cluster", Options{ClusterSize: -1}, "ClusterSize"},
+		{"neg-workers", Options{Workers: -2}, "Workers"},
+		{"neg-nodelimit", Options{NodeLimit: -1}, "NodeLimit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			oe, ok := err.(*OptionError)
+			if !ok {
+				t.Fatalf("got %T (%v), want *OptionError", err, err)
+			}
+			if oe.Field != tc.field {
+				t.Fatalf("rejected field %q, want %q", oe.Field, tc.field)
+			}
+			if oe.Error() == "" {
+				t.Fatal("empty error string")
+			}
+			// New must reject the same options for every registry name.
+			for _, name := range Names() {
+				if _, err := New(name, tc.opt); err == nil {
+					t.Fatalf("New(%q) accepted invalid options", name)
+				}
+			}
+		})
+	}
+}

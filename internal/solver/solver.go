@@ -28,6 +28,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"gpm/internal/modes"
@@ -43,6 +44,14 @@ type Instance struct {
 	// watts and committed instructions for core c in mode m.
 	Power [][]float64
 	Instr [][]float64
+	// FlatPower/FlatInstr, when non-nil, are row-major contiguous aliases of
+	// Power/Instr (length cores×modes, Power[c][m] == FlatPower[c*modes+m]).
+	// They are optional and never consulted for scoring — Sessions use them
+	// as a fast path for memo comparison and sub-instance slicing. Callers
+	// that set them are responsible for the aliasing invariant
+	// (core.Matrices.Flat provides it).
+	FlatPower []float64
+	FlatInstr []float64
 }
 
 // NumCores returns the decision width.
@@ -125,10 +134,11 @@ type Stats struct {
 	Aborted bool
 }
 
-// Solver is one budgeted mode-allocation algorithm. Implementations must be
-// deterministic and safe for reuse across calls; Hier is additionally
-// stateful across calls (inter-interval rebalancing) and guards its state
-// internally.
+// Solver is one budgeted mode-allocation algorithm. Implementations are
+// deterministic, stateless, and safe for concurrent reuse across calls.
+// Cross-interval state (Hier's Alpha share smoothing, warm hints, scratch
+// reuse) lives in a Session, which owns exactly one solver and is NOT safe
+// for concurrent use; bare Hier.Solve with Alpha > 0 behaves as Alpha == 0.
 type Solver interface {
 	Name() string
 	Solve(in Instance) (modes.Vector, Stats)
@@ -148,11 +158,55 @@ type Options struct {
 	NodeLimit int64
 }
 
+// Validate checks Options for values that would silently misbehave inside
+// the solvers (a negative quantum flips DP's rounding, a negative cluster
+// size degenerates Hier, negative worker or node counts read as "unlimited").
+// All failures are *OptionError.
+func (opt Options) Validate() error {
+	if math.IsNaN(opt.QuantumW) || math.IsInf(opt.QuantumW, 0) {
+		return &OptionError{Field: "QuantumW", Value: opt.QuantumW, Reason: "must be finite"}
+	}
+	if opt.QuantumW < 0 {
+		return &OptionError{Field: "QuantumW", Value: opt.QuantumW, Reason: "must be non-negative (0 selects the adaptive default)"}
+	}
+	if opt.ClusterSize < 0 {
+		return &OptionError{Field: "ClusterSize", Value: opt.ClusterSize, Reason: "must be non-negative (0 selects the default)"}
+	}
+	if opt.Workers < 0 {
+		return &OptionError{Field: "Workers", Value: opt.Workers, Reason: "must be non-negative (0 selects GOMAXPROCS)"}
+	}
+	if opt.NodeLimit < 0 {
+		return &OptionError{Field: "NodeLimit", Value: opt.NodeLimit, Reason: "must be non-negative (0 means unlimited)"}
+	}
+	return nil
+}
+
+// OptionError is the typed validation error returned by Options.Validate and
+// New, mirroring engine.OptionError: it names the field, the rejected value,
+// and what a valid value looks like.
+type OptionError struct {
+	// Field is the Options field that was rejected.
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what a valid value looks like.
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("solver: option %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
 // Names lists the registry names accepted by New.
 func Names() []string { return []string{"exhaustive", "dp", "bb", "hier", "greedy"} }
 
-// New builds a solver by registry name.
+// New builds a solver by registry name. Options are validated first; a
+// rejected option returns a *OptionError.
 func New(name string, opt Options) (Solver, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	switch name {
 	case "exhaustive":
 		return &Exhaustive{Workers: opt.Workers}, nil
@@ -194,6 +248,24 @@ func (g Greedy) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) 
 	return v, st
 }
 
+// upgradeDelta scores the single-step upgrade of core c from mode cur to
+// cur−1: the power delta and the ΔBIPS/ΔPower ratio under the greedy
+// kernel's conventions (near-zero ΔPower with positive ΔBIPS reads as free
+// throughput). Shared by the scan and heap greedy implementations so their
+// candidate orderings agree bit-for-bit.
+func upgradeDelta(in Instance, c int, cur modes.Mode) (dp, ratio float64) {
+	up := cur - 1
+	dp = in.Power[c][up] - in.Power[c][cur]
+	di := in.Instr[c][up] - in.Instr[c][cur]
+	ratio = di
+	if dp > 1e-12 {
+		ratio = di / dp
+	} else if di > 0 {
+		ratio = 1e18 // free throughput
+	}
+	return dp, ratio
+}
+
 // greedySolve is the shared greedy kernel; BB seeds its incumbent and Hier
 // derives its demand shares from it. The checkpoint is consulted once per
 // upgrade pass; an aborted pass returns the vector built so far, which is
@@ -215,18 +287,10 @@ func greedySolve(in Instance, cp *Checkpoint) (modes.Vector, int64) {
 			if v[c] == 0 {
 				continue
 			}
-			up := v[c] - 1
-			dp := in.Power[c][up] - in.Power[c][v[c]]
-			di := in.Instr[c][up] - in.Instr[c][v[c]]
+			dp, ratio := upgradeDelta(in, c, v[c])
 			nodes++
 			if power+dp > in.BudgetW {
 				continue
-			}
-			ratio := di
-			if dp > 1e-12 {
-				ratio = di / dp
-			} else if di > 0 {
-				ratio = 1e18 // free throughput
 			}
 			if ratio > bestRatio {
 				bestRatio = ratio

@@ -220,19 +220,31 @@ func TestHierFeasibleDeterministicAndNearOptimal(t *testing.T) {
 }
 
 func TestHierStatefulRebalancing(t *testing.T) {
+	// Alpha share smoothing lives in the session (a bare Hier is stateless).
 	h := &Hier{ClusterSize: 4, Alpha: 0.5}
+	ses := NewSession(h)
+	defer ses.Close()
 	in := randInstance(9, 16, plan3(), 0.8)
+	var hint Hint
 	for i := 0; i < 3; i++ {
-		v, _ := h.Solve(in)
+		v, _ := ses.Solve(in, hint)
 		if p := in.VectorPower(v); p > in.BudgetW+in.budgetEps() {
 			t.Fatalf("call %d: stateful hier infeasible", i)
 		}
+		hint = Hint{Vector: v.Clone(), Instr: in.VectorInstr(v)}
 	}
 	// Steady state: repeated identical instances converge to a fixed point.
-	v1, _ := h.Solve(in)
-	v2, _ := h.Solve(in)
+	v1, _ := ses.Solve(in, hint)
+	v1 = v1.Clone()
+	v2, _ := ses.Solve(in, hint)
 	if !v1.Equal(v2) {
 		t.Fatal("stateful hier did not converge on a constant instance")
+	}
+	// And a bare Hier with Alpha set stays deterministic call to call.
+	b1, _ := h.Solve(in)
+	b2, _ := h.Solve(in)
+	if !b1.Equal(b2) {
+		t.Fatal("bare hier with Alpha not stateless")
 	}
 }
 
