@@ -3,7 +3,7 @@ GO ?= go
 # Extra flags for the test targets, e.g. GOTESTFLAGS=-short for quick CI legs.
 GOTESTFLAGS ?=
 
-.PHONY: all build vet test race check bench-json bench-check golden fuzz chaos fleet
+.PHONY: all build vet test race check bench-json bench-check golden fuzz chaos fleet calib
 
 all: check
 
@@ -45,6 +45,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet \
 		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkHistoryPredictor' -benchmem ./internal/core ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCounterfactualReplay' -benchmem ./internal/calib ) \
+		| $(GO) run ./cmd/benchjson > BENCH_calib.json
+	@echo wrote BENCH_calib.json
 
 # The steady-state allocation gate: re-run the warm-session benchmark rows
 # (short -benchtime — allocs/op is iteration-invariant) and fail if any row
@@ -56,6 +60,8 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -check BENCH_solver.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$/warm' -benchtime 3x -benchmem ./internal/engine \
 		| $(GO) run ./cmd/benchjson -check BENCH_engine.json -slack 1.15
+	$(GO) test -run '^$$' -bench 'BenchmarkHistoryPredictor/warm' -benchtime 100x -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -check BENCH_calib.json
 	@echo bench-check passed
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control
@@ -64,8 +70,9 @@ bench-check:
 # cross-substrate test asserts both substrates agree through the shared
 # engine.
 golden:
-	$(GO) test -count=1 -run 'TestGolden' ./internal/cmpsim
-	$(GO) test -count=1 -run 'TestRunPolicyGoldenBitIdentical|TestCrossSubstrate' ./internal/experiment
+	$(GO) test -count=1 -run 'TestGolden|TestCounterfactualSelfIdentity' ./internal/cmpsim
+	$(GO) test -count=1 -run 'TestRunPolicyGoldenBitIdentical|TestCrossSubstrate|TestGoldenCalibrationReport|TestGoldenRegretTable' ./internal/experiment
+	$(GO) test -count=1 -run 'TestCounterfactualSelfIdentity' ./internal/fullsim
 
 # Seeded deterministic chaos soak: randomized fault schedules against the
 # decision supervisor's invariant monitors (conformance, finiteness, bounded
@@ -80,6 +87,15 @@ chaos: build
 # Deterministic for any -workers value; the fleet golden test pins the digest.
 fleet: build
 	$(GO) run ./cmd/gpmsim -quick -workers 4 fleet
+
+# Fidelity smoke: the predictor calibration sweep (predicted vs actual BIPS and
+# power on both substrates, last-value vs history-table prediction) and the
+# counterfactual regret table (recorded run replayed through alternate policies
+# and the true-telemetry oracle). Deterministic for any -workers value; the
+# experiment goldens pin both fingerprints.
+calib: build
+	$(GO) run ./cmd/gpmsim -quick -workers 4 -intervals 6 calib
+	$(GO) run ./cmd/gpmsim -quick -workers 4 -intervals 8 regret
 
 # Short coverage-guided fuzz of the trace codec beyond the checked-in seed
 # corpus (testdata/fuzz/...); the seeds themselves run as part of `make test`.

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpm/internal/core"
+	"gpm/internal/experiment"
+	"gpm/internal/workload"
+)
+
+var flagJSON = flag.Bool("json", false, "emit the 'calib'/'regret' reports as JSON (full per-interval series) instead of tables")
+
+// calibCmd runs the predictor-calibration sweep: matched cmpsim/fullsim
+// recordings at -budget for the default policy set, scored with the
+// last-value §5.5 predictor and the history-table phase predictor.
+func calibCmd(env *experiment.Env) error {
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	intervals := *flagIntervals
+	if intervals <= 0 {
+		intervals = 8
+	}
+	res, err := env.CalibrationSweep(combo, []float64{*flagBudget}, intervals, nil, core.DefaultHistory())
+	if err != nil {
+		return err
+	}
+	if *flagJSON {
+		return emitJSON(res)
+	}
+	emit(res.Table())
+	return nil
+}
+
+// regretCmd records one run under -policy at -budget and replays its
+// telemetry through the default alternate policies, reporting per-interval
+// and cumulative regret versus the recorded decisions and the
+// true-telemetry oracle.
+func regretCmd(env *experiment.Env) error {
+	combo, err := workload.FindCombo(*flagCombo)
+	if err != nil {
+		return err
+	}
+	pol, err := core.SolverRegistry(strings.ToLower(*flagPolicy), solverOpts())
+	if err != nil {
+		return err
+	}
+	intervals := *flagIntervals
+	if intervals <= 0 {
+		intervals = 12
+	}
+	res, err := env.CounterfactualReplay(combo, pol, *flagBudget, intervals, nil)
+	if err != nil {
+		return err
+	}
+	if *flagJSON {
+		return emitJSON(res)
+	}
+	emit(res.Table())
+	return nil
+}
+
+func emitJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("json: %w", err)
+	}
+	return nil
+}

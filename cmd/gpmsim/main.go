@@ -7,7 +7,7 @@
 //
 // Experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 validate xcheck modecount explore scaleout transrate minpower
-// selectors thermal sched resilience scaling fleet run all
+// selectors thermal sched resilience scaling fleet calib regret run all
 //
 // Examples:
 //
@@ -26,6 +26,8 @@
 //	gpmsim -trace pair -quick xcheck                  # also record pair.cmpsim/.fullsim.jsonl
 //	gpmsim tracediff pair.cmpsim.jsonl pair.fullsim.jsonl  # first diverging interval/core/field
 //	gpmsim -quick fleet                               # 8-chip facility: serving, cap-cut cascade, cap sweep
+//	gpmsim -quick calib                               # predictor MAPE/bias/r vs both substrates
+//	gpmsim -quick -json regret                        # per-interval regret of alternate policies vs a MaxBIPS recording
 package main
 
 import (
@@ -75,7 +77,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gpmsim [flags] <experiment>... | replay <trace.jsonl> | tracediff <a.jsonl> <b.jsonl>")
-		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience chaos scaling fleet run all")
+		fmt.Fprintln(os.Stderr, "experiments: table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 validate xcheck modecount explore scaleout transrate minpower selectors thermal sched resilience chaos scaling fleet calib regret run all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -216,6 +218,10 @@ func dispatch(env *experiment.Env, cmd string) error {
 		return solverScaling(env)
 	case "fleet":
 		return fleetCmd(env)
+	case "calib":
+		return calibCmd(env)
+	case "regret":
+		return regretCmd(env)
 	case "run":
 		return custom(env)
 	default:

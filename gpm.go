@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"gpm/internal/calib"
 	"gpm/internal/cmpsim"
 	"gpm/internal/core"
 	"gpm/internal/engine"
@@ -397,3 +398,59 @@ func WeightedSlowdown(speedups []float64) float64 { return metrics.WeightedSlowd
 func PerThreadSpeedups(policy, baseline []float64) ([]float64, error) {
 	return metrics.PerThreadSpeedups(policy, baseline)
 }
+
+// --- Fidelity loop: calibration, counterfactual replay, phase prediction ----
+// --- (internal/calib, internal/core.HistoryPredictor, DESIGN.md §14) --------
+
+// CalibrationFit is one predicted-vs-actual series comparison: MAPE, bias
+// and Pearson r (RDefined=false when the series is constant).
+type CalibrationFit = calib.Fit
+
+// CalibrationScore is one trace's calibration: how well the §5.5 predictor's
+// chip-level forecasts tracked what the substrate then actually did.
+type CalibrationScore = calib.Score
+
+// CrossSubstrateScore is the interval-by-interval telemetry agreement of two
+// traces of the same management problem on different substrates.
+type CrossSubstrateScore = calib.CrossScore
+
+// ScoreTrace replays a recorded trace's telemetry through the system's
+// predictor and scores predicted-vs-actual per-interval chip power and
+// throughput.
+func ScoreTrace(sys *System, t *Trace) (*CalibrationScore, error) {
+	return calib.ScoreTrace(t, sys.Plan, sys.Predictor())
+}
+
+// HistoryConfig tunes the history-table phase predictor (pattern depth,
+// delta quantization buckets, bucket step). Zero fields select defaults.
+type HistoryConfig = core.HistoryConfig
+
+// DefaultHistory returns the default phase-predictor configuration.
+func DefaultHistory() HistoryConfig { return core.DefaultHistory() }
+
+// CounterfactualOptions configures one counterfactual replay of a recorded
+// trace (plan, predictor, policy, optional guard/history/oracle solver).
+type CounterfactualOptions = calib.ReplayOptions
+
+// CounterfactualResult is one alternate policy's replay: per-interval and
+// cumulative regret versus the recorded decisions and the
+// perfect-prediction oracle.
+type CounterfactualResult = calib.ReplayResult
+
+// IntervalRegret is one interval's recorded/counterfactual/oracle comparison.
+type IntervalRegret = calib.IntervalRegret
+
+// CounterfactualReplay re-drives a recorded trace's telemetry through an
+// alternate policy. Replaying the recording's own policy and guard yields
+// exactly zero regret at every interval.
+func CounterfactualReplay(t *Trace, opt CounterfactualOptions) (*CounterfactualResult, error) {
+	return calib.Replay(t, opt)
+}
+
+// CalibrationResult is System.CalibrationSweep's report: per policy × budget,
+// the predictor's fit on both substrates with and without phase prediction.
+type CalibrationResult = experiment.CalibrationResult
+
+// RegretResult is System.CounterfactualReplay's report: every alternate
+// policy's regret against one recorded run.
+type RegretResult = experiment.RegretResult

@@ -1,0 +1,54 @@
+package calib
+
+import (
+	"testing"
+	"time"
+
+	"gpm/internal/cmpsim"
+	"gpm/internal/config"
+	"gpm/internal/core"
+	"gpm/internal/modes"
+	"gpm/internal/obs"
+	"gpm/internal/power"
+	"gpm/internal/trace"
+	"gpm/internal/workload"
+)
+
+// BenchmarkCounterfactualReplay measures a full three-lane replay (policy
+// manager + oracle solve + outcome scoring per interval) of a recorded
+// cmpsim run; the bench-check gate pins the allocation budget of the warm
+// sub-benchmark.
+func BenchmarkCounterfactualReplay(b *testing.B) {
+	cfg := config.Default(4)
+	plan := modes.Default(cfg.Chip.NominalVdd, cfg.Chip.TransitionRateVPerUs)
+	lib := trace.NewLibrary(cfg, power.Default(), plan)
+	combo := workload.FourWay[0]
+	col := obs.NewCollector(nil)
+	if _, err := cmpsim.Run(lib, combo, cmpsim.Options{
+		Budget:   cmpsim.FixedBudget(70),
+		Policy:   core.MaxBIPS{},
+		Horizon:  16 * time.Millisecond,
+		Observer: col,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	tr := col.Trace()
+	memBound, err := cmpsim.MemBoundedness(lib, combo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := ReplayOptions{
+		Plan:      plan,
+		Predictor: core.Predictor{Plan: plan, ExploreSeconds: cfg.Sim.Explore.Seconds()},
+		Policy:    core.Priority{},
+		MemBound:  memBound,
+	}
+	b.Run("warm-replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Replay(tr, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

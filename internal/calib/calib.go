@@ -1,0 +1,218 @@
+// Package calib closes the fidelity loop the paper leaves open: it
+// quantifies how *good* the global power manager's predictions and decisions
+// were, not just what they were (internal/obs records the latter).
+//
+// Three instruments, all operating offline on recorded decision traces:
+//
+//   - Calibration scoring (ScoreTrace): replay a trace's telemetry through a
+//     §5.5 predictor and score predicted-vs-actual per-interval chip power
+//     and committed instructions with MAPE, bias and Pearson r. Run on
+//     matched cmpsim/fullsim traces (experiment.CalibrationSweep), this is
+//     the "analytic model vs cycle-level ground truth" audit that PAPERS.md's
+//     energy-model-accuracy critique calls for.
+//   - Cross-substrate agreement (CrossFit): the same statistics between two
+//     traces of the same management problem on different substrates.
+//   - Counterfactual replay (Replay, replay.go): re-drive a recorded trace's
+//     observed telemetry through alternate policies and an oracle solve,
+//     reporting per-interval and cumulative regret — the paper attributes
+//     MaxBIPS's gap to oracle performance to exactly this prediction error.
+package calib
+
+import (
+	"fmt"
+
+	"gpm/internal/core"
+	"gpm/internal/metrics"
+	"gpm/internal/modes"
+	"gpm/internal/obs"
+)
+
+// Fit is one predicted-vs-actual series comparison.
+type Fit struct {
+	// N is the number of scored pairs.
+	N int `json:"n"`
+	// MAPE is the mean absolute percentage error as a fraction.
+	MAPE float64 `json:"mape"`
+	// Bias is the mean signed error (predicted − actual) in series units.
+	Bias float64 `json:"bias"`
+	// R is the Pearson correlation; meaningful only when RDefined (a
+	// constant series has no defined correlation — R stays 0 so the struct
+	// remains JSON-encodable).
+	R        float64 `json:"r"`
+	RDefined bool    `json:"r_defined"`
+}
+
+// FitSeries scores a predicted series against an actual series. MAPE or bias
+// rejecting the input (empty, length mismatch, non-finite entries, all-zero
+// actuals) is an error; an undefined Pearson r (constant series) is not —
+// it reports RDefined=false.
+func FitSeries(pred, actual []float64) (Fit, error) {
+	mape, err := metrics.MAPE(pred, actual)
+	if err != nil {
+		return Fit{}, err
+	}
+	bias, err := metrics.Bias(pred, actual)
+	if err != nil {
+		return Fit{}, err
+	}
+	f := Fit{N: len(pred), MAPE: mape, Bias: bias}
+	if r, err := metrics.PearsonR(pred, actual); err == nil {
+		f.R = r
+		f.RDefined = true
+	}
+	return f, nil
+}
+
+// Score is one trace's calibration result: how well a predictor's chip-level
+// forecasts tracked what the chip then actually did.
+type Score struct {
+	// Substrate/Policy/ComboID identify the scored run (from the trace
+	// manifest; empty when the trace has none).
+	Substrate string `json:"substrate,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	ComboID   string `json:"combo,omitempty"`
+	// MeanBudgetW is the mean recorded per-decision budget.
+	MeanBudgetW float64 `json:"mean_budget_w"`
+	// Intervals is the number of scored prediction/outcome pairs
+	// (records − 1: the last decision's outcome was never observed).
+	Intervals int `json:"intervals"`
+	// Power and Instr are the chip-level fits.
+	Power Fit `json:"power"`
+	Instr Fit `json:"instr"`
+	// Per-interval chip-level series backing the fits: entry i is the
+	// prediction made at record i for the vector it adopted, paired with the
+	// true outcome observed at record i+1.
+	PredPowerW   []float64 `json:"pred_power_w"`
+	ActualPowerW []float64 `json:"actual_power_w"`
+	PredInstr    []float64 `json:"pred_instr"`
+	ActualInstr  []float64 `json:"actual_instr"`
+}
+
+// ScoreTrace replays a recorded trace's telemetry through pred and scores
+// its chip-level forecasts. At each record the predictor consumes exactly
+// what the recording manager's predictor consumed — the observed
+// (post-fault) samples under the vector then in force — and its prediction
+// for the adopted vector is paired with the next record's *true* telemetry.
+// The score therefore measures decision-relevant prediction error: model
+// error plus whatever the sensors were lying about.
+//
+// pred may be stateful (a fresh core.HistoryPredictor scores "what would the
+// phase predictor have seen"); it is stepped once per record in order.
+func ScoreTrace(t *obs.Trace, plan modes.Plan, pred core.MatrixPredictor) (*Score, error) {
+	if len(t.Records) < 2 {
+		return nil, fmt.Errorf("calib: trace has %d decision records; need at least 2 to pair predictions with outcomes", len(t.Records))
+	}
+	n := len(t.Records[0].Vector)
+	if n == 0 {
+		return nil, fmt.Errorf("calib: trace records have empty mode vectors")
+	}
+	s := &Score{Intervals: len(t.Records) - 1}
+	if m := t.Manifest; m != nil {
+		s.Substrate = m.Substrate
+		s.Policy = m.Policy
+		s.ComboID = m.ComboID
+	}
+
+	var mx core.Matrices
+	current := modes.Uniform(n, modes.Turbo)
+	var samples []core.Sample
+	var vbuf modes.Vector
+	for i := range t.Records {
+		rec := &t.Records[i]
+		samples = rec.ObservedSamples(samples)
+		if len(samples) != n {
+			return nil, fmt.Errorf("calib: record %d has %d cores, record 0 has %d", i, len(samples), n)
+		}
+		vbuf = rec.ModeVector(vbuf)
+		if len(vbuf) != n {
+			return nil, fmt.Errorf("calib: record %d vector has %d cores, want %d", i, len(vbuf), n)
+		}
+		for c, m := range vbuf {
+			if !plan.Valid(m) {
+				return nil, fmt.Errorf("calib: record %d core %d: invalid mode %d", i, c, m)
+			}
+		}
+		s.MeanBudgetW += rec.BudgetW
+
+		pred.MatricesInto(&mx, current, samples)
+		var predP, predI float64
+		for c, m := range vbuf {
+			predP += mx.Power[c][m]
+			predI += mx.Instr[c][m]
+		}
+		if i+1 < len(t.Records) {
+			truth := t.Records[i+1].TrueSamples(nil)
+			if len(truth) != n {
+				return nil, fmt.Errorf("calib: record %d true samples have %d cores, want %d", i+1, len(truth), n)
+			}
+			var actP, actI float64
+			for _, ts := range truth {
+				actP += ts.PowerW
+				actI += ts.Instr
+			}
+			s.PredPowerW = append(s.PredPowerW, predP)
+			s.ActualPowerW = append(s.ActualPowerW, actP)
+			s.PredInstr = append(s.PredInstr, predI)
+			s.ActualInstr = append(s.ActualInstr, actI)
+		}
+		current = append(current[:0], vbuf...)
+	}
+	s.MeanBudgetW /= float64(len(t.Records))
+
+	var err error
+	if s.Power, err = FitSeries(s.PredPowerW, s.ActualPowerW); err != nil {
+		return nil, fmt.Errorf("calib: power fit: %w", err)
+	}
+	if s.Instr, err = FitSeries(s.PredInstr, s.ActualInstr); err != nil {
+		return nil, fmt.Errorf("calib: instr fit: %w", err)
+	}
+	return s, nil
+}
+
+// CrossScore is the interval-by-interval agreement of two traces of the same
+// management problem — typically cmpsim (approximation) against fullsim
+// (ground truth).
+type CrossScore struct {
+	// Intervals is the number of paired records (the shorter trace bounds).
+	Intervals int `json:"intervals"`
+	// Power and Instr score the approx trace's per-interval true chip
+	// telemetry against the truth trace's.
+	Power Fit `json:"power"`
+	Instr Fit `json:"instr"`
+}
+
+// CrossFit pairs the true per-interval chip power and committed instructions
+// of two traces record-by-record and scores approx against truth.
+func CrossFit(approx, truth *obs.Trace) (*CrossScore, error) {
+	n := len(approx.Records)
+	if len(truth.Records) < n {
+		n = len(truth.Records)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("calib: cross fit: a trace has no decision records")
+	}
+	chip := func(t *obs.Trace, i int) (p, in float64) {
+		for _, s := range t.Records[i].TrueSamples(nil) {
+			p += s.PowerW
+			in += s.Instr
+		}
+		return p, in
+	}
+	aP := make([]float64, n)
+	aI := make([]float64, n)
+	bP := make([]float64, n)
+	bI := make([]float64, n)
+	for i := 0; i < n; i++ {
+		aP[i], aI[i] = chip(approx, i)
+		bP[i], bI[i] = chip(truth, i)
+	}
+	cs := &CrossScore{Intervals: n}
+	var err error
+	if cs.Power, err = FitSeries(aP, bP); err != nil {
+		return nil, fmt.Errorf("calib: cross power fit: %w", err)
+	}
+	if cs.Instr, err = FitSeries(aI, bI); err != nil {
+		return nil, fmt.Errorf("calib: cross instr fit: %w", err)
+	}
+	return cs, nil
+}

@@ -1,0 +1,243 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/modes"
+	"gpm/internal/obs"
+)
+
+func planT(t testing.TB) modes.Plan {
+	t.Helper()
+	return modes.Default(1.0, 10)
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestFitSeries(t *testing.T) {
+	f, err := FitSeries([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 3 || f.MAPE != 0 || f.Bias != 0 || !f.RDefined || !approxEq(f.R, 1) {
+		t.Fatalf("perfect fit scored %+v", f)
+	}
+
+	// A constant predicted series has no defined correlation but valid MAPE.
+	f, err = FitSeries([]float64{2, 2, 2}, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RDefined {
+		t.Fatalf("constant series reported a defined r: %+v", f)
+	}
+	if f.R != 0 {
+		t.Fatalf("undefined r must be 0 for JSON stability, got %v", f.R)
+	}
+
+	if _, err = FitSeries(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err = FitSeries([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// scoreTrace builds a 1-core, 3-record trace with hand-checkable numbers.
+func scoreTraceFixture() *obs.Trace {
+	rec := func(i int, p, in float64) obs.Record {
+		return obs.Record{Interval: i, NowNs: int64(i) * 500_000, BudgetW: 50,
+			ChipPowerW: p, PowerW: []float64{p}, Instr: []float64{in}, Vector: []int{0}}
+	}
+	return &obs.Trace{
+		Manifest: &obs.Manifest{Substrate: "cmpsim", Policy: "maxbips", ComboID: "fx"},
+		Records:  []obs.Record{rec(0, 10, 1e6), rec(1, 12, 1.2e6), rec(2, 11, 0.9e6)},
+	}
+}
+
+func TestScoreTraceLastValue(t *testing.T) {
+	plan := planT(t)
+	pred := core.Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	s, err := ScoreTrace(scoreTraceFixture(), plan, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Substrate != "cmpsim" || s.Policy != "maxbips" || s.ComboID != "fx" {
+		t.Fatalf("manifest identity lost: %+v", s)
+	}
+	if s.Intervals != 2 || s.MeanBudgetW != 50 {
+		t.Fatalf("intervals=%d meanBudget=%v", s.Intervals, s.MeanBudgetW)
+	}
+	// All-Turbo throughout: the last-value predictor forecasts exactly the
+	// observed telemetry, paired with the next record's.
+	wantPredP := []float64{10, 12}
+	wantActP := []float64{12, 11}
+	for i := range wantPredP {
+		if !approxEq(s.PredPowerW[i], wantPredP[i]) || !approxEq(s.ActualPowerW[i], wantActP[i]) {
+			t.Fatalf("power pair %d: pred %v actual %v, want %v/%v",
+				i, s.PredPowerW[i], s.ActualPowerW[i], wantPredP[i], wantActP[i])
+		}
+	}
+	wantMAPE := (2.0/12 + 1.0/11) / 2
+	if !approxEq(s.Power.MAPE, wantMAPE) {
+		t.Fatalf("power MAPE %v, want %v", s.Power.MAPE, wantMAPE)
+	}
+	if !approxEq(s.Power.Bias, -0.5) {
+		t.Fatalf("power bias %v, want -0.5", s.Power.Bias)
+	}
+}
+
+func TestScoreTraceUsesTrueTelemetryAsActual(t *testing.T) {
+	plan := planT(t)
+	tr := scoreTraceFixture()
+	// A fault stage lied at record 1: the manager saw 12 W but the substrate
+	// really drew 13 W. Predictions keep consuming the observed series; the
+	// actual series must switch to the truth.
+	tr.Records[1].TruePowerW = []float64{13}
+	tr.Records[1].TrueInstr = []float64{1.3e6}
+	s, err := ScoreTrace(tr, plan, core.Predictor{Plan: plan, ExploreSeconds: 500e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(s.ActualPowerW[0], 13) {
+		t.Fatalf("actual power %v, want the true 13", s.ActualPowerW[0])
+	}
+	if !approxEq(s.PredPowerW[1], 12) {
+		t.Fatalf("prediction from record 1 %v, want the observed 12", s.PredPowerW[1])
+	}
+}
+
+func TestScoreTraceRejectsMalformedTraces(t *testing.T) {
+	plan := planT(t)
+	pred := core.Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	short := &obs.Trace{Records: scoreTraceFixture().Records[:1]}
+	if _, err := ScoreTrace(short, plan, pred); err == nil {
+		t.Error("single-record trace accepted")
+	}
+	ragged := scoreTraceFixture()
+	ragged.Records[1].PowerW = []float64{1, 2}
+	ragged.Records[1].Instr = []float64{1, 2}
+	if _, err := ScoreTrace(ragged, plan, pred); err == nil {
+		t.Error("ragged core count accepted")
+	}
+	badMode := scoreTraceFixture()
+	badMode.Records[2].Vector = []int{99}
+	if _, err := ScoreTrace(badMode, plan, pred); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func TestCrossFit(t *testing.T) {
+	a := scoreTraceFixture()
+	b := scoreTraceFixture()
+	cs, err := CrossFit(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Intervals != 3 || cs.Power.MAPE != 0 || cs.Instr.MAPE != 0 {
+		t.Fatalf("identical traces scored %+v", cs)
+	}
+	// Truth overrides must flow into the comparison.
+	b.Records[0].TruePowerW = []float64{20}
+	b.Records[0].TrueInstr = []float64{2e6}
+	cs, err = CrossFit(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Power.MAPE == 0 {
+		t.Fatal("true-telemetry divergence invisible to CrossFit")
+	}
+	if _, err := CrossFit(&obs.Trace{}, b); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	plan := planT(t)
+	tr := scoreTraceFixture()
+	base := ReplayOptions{Plan: plan, Predictor: core.Predictor{Plan: plan, ExploreSeconds: 500e-6}, Policy: core.MaxBIPS{}}
+	if _, err := Replay(&obs.Trace{}, base); err == nil {
+		t.Error("empty trace accepted")
+	}
+	noPolicy := base
+	noPolicy.Policy = nil
+	if _, err := Replay(tr, noPolicy); err == nil {
+		t.Error("missing policy accepted")
+	}
+	badHist := base
+	badHist.History = &core.HistoryConfig{Depth: 99}
+	if _, err := Replay(tr, badHist); err == nil {
+		t.Error("invalid history config accepted")
+	}
+}
+
+// TestReplaySyntheticLanes replays the fixture under MaxBIPS and checks the
+// lane accounting: per-interval sums match cumulative totals, the oracle lane
+// (exact solve on true telemetry) never trails the policy lane's first
+// interval (identical all-Turbo state, same matrices), and the fingerprint is
+// reproducible.
+func TestReplaySyntheticLanes(t *testing.T) {
+	plan := planT(t)
+	tr := scoreTraceFixture()
+	opt := ReplayOptions{
+		Plan:      plan,
+		Predictor: core.Predictor{Plan: plan, ExploreSeconds: 500e-6},
+		Policy:    core.MaxBIPS{},
+	}
+	rr, err := Replay(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Intervals) != 2 {
+		t.Fatalf("%d intervals, want records-1 = 2", len(rr.Intervals))
+	}
+	var sumRec, sumOrc float64
+	for _, ir := range rr.Intervals {
+		if ir.VsRecorded != ir.RecordedInstr-ir.PolicyInstr || ir.VsOracle != ir.OracleInstr-ir.PolicyInstr {
+			t.Fatalf("interval %d: regret fields inconsistent: %+v", ir.Interval, ir)
+		}
+		sumRec += ir.VsRecorded
+		sumOrc += ir.VsOracle
+	}
+	if !approxEq(rr.CumVsRecorded, sumRec) || !approxEq(rr.CumVsOracle, sumOrc) {
+		t.Fatalf("cumulative totals drifted from the interval series: %+v", rr)
+	}
+	// Interval 0: every lane decides from the same all-Turbo state on the
+	// same matrices, so the exact oracle bounds both from above.
+	ir0 := rr.Intervals[0]
+	if ir0.OracleInstr < ir0.PolicyInstr-1e-9 || ir0.OracleInstr < ir0.RecordedInstr-1e-9 {
+		t.Fatalf("interval 0: oracle %v below policy %v / recorded %v", ir0.OracleInstr, ir0.PolicyInstr, ir0.RecordedInstr)
+	}
+	rr2, err := Replay(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ReplayFingerprint(rr) != ReplayFingerprint(rr2) {
+		t.Fatal("replay fingerprint not reproducible on identical input")
+	}
+}
+
+func TestFingerprintsDiscriminate(t *testing.T) {
+	plan := planT(t)
+	pred := core.Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	s1, err := ScoreTrace(scoreTraceFixture(), plan, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := scoreTraceFixture()
+	mut.Records[2].PowerW[0] += 1e-9
+	s2, err := ScoreTrace(mut, plan, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScoreFingerprint(s1) == ScoreFingerprint(s2) {
+		t.Fatal("a 1e-9 telemetry change did not move the score fingerprint")
+	}
+	if ScoreFingerprint(s1) != ScoreFingerprint(s1) {
+		t.Fatal("score fingerprint unstable")
+	}
+}

@@ -60,6 +60,13 @@ type Options struct {
 	// armed, and dead cores are parked. GuardConfig zero fields select
 	// defaults, so &core.GuardConfig{} is a valid setting.
 	Guard *core.GuardConfig
+	// History, when non-nil, wraps the run's predictor in a history-table
+	// phase predictor (core.HistoryPredictor): periodic per-core phase
+	// patterns sharpen the BIPS forecast, anything else falls back to
+	// last-value. Zero fields select defaults, so &core.HistoryConfig{} is a
+	// valid setting. Incompatible with Replay — recorded vectors actuate
+	// verbatim, so there is no predictor to improve.
+	History *core.HistoryConfig
 	// Observer, when non-nil, receives one structured decision trace per
 	// explore interval and the Result at run end (obs.Writer streams JSONL,
 	// obs.Collector keeps the trace in memory). Nil is the zero-overhead
@@ -197,6 +204,15 @@ func build(lib *trace.Library, combo workload.Combo, opt Options) (engine.Substr
 		return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "Supervisor", Value: "non-nil",
 			Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
 	}
+	if opt.History != nil {
+		if replaying {
+			return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "History", Value: "non-nil",
+				Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
+		}
+		if err := opt.History.Validate(); err != nil {
+			return nil, engine.Options{}, &engine.OptionError{Component: "cmpsim", Field: "History", Value: "", Reason: err.Error()}
+		}
+	}
 	if opt.Policy == nil && opt.Solver != nil {
 		sol := opt.Solver
 		// Under a supervisor deadline the solver itself becomes bounded: half
@@ -300,7 +316,11 @@ func build(lib *trace.Library, combo workload.Combo, opt Options) (engine.Substr
 		}
 		eopt.PolicyName = opt.Replay.PolicyName()
 	} else {
-		eopt.Decider = engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard)
+		if opt.History != nil {
+			eopt.Decider = engine.NewDeciderWith(plan, opt.Policy, core.NewHistoryPredictor(pred, *opt.History), n, opt.Guard)
+		} else {
+			eopt.Decider = engine.NewDecider(plan, opt.Policy, pred, n, opt.Guard)
+		}
 		eopt.PolicyName = opt.Policy.Name()
 		if opt.Supervisor != nil {
 			sup := *opt.Supervisor

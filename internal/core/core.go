@@ -209,7 +209,7 @@ type Policy interface {
 type Manager struct {
 	plan      modes.Plan
 	policy    Policy
-	predictor Predictor
+	predictor MatrixPredictor
 	current   modes.Vector
 	// lastCandidate is the policy's raw output from the most recent Step,
 	// before sanitize (observability only; nil until the first decision and
@@ -225,6 +225,13 @@ type Manager struct {
 
 // NewManager builds a manager for n cores, starting all cores at Turbo.
 func NewManager(plan modes.Plan, policy Policy, pred Predictor, n int) *Manager {
+	return NewManagerWith(plan, policy, pred, n)
+}
+
+// NewManagerWith builds a manager around any MatrixPredictor — the analytic
+// Predictor (NewManager's fixed choice, bit-identical through this path) or
+// a stateful upgrade such as the HistoryPredictor.
+func NewManagerWith(plan modes.Plan, policy Policy, pred MatrixPredictor, n int) *Manager {
 	return &Manager{
 		plan:      plan,
 		policy:    policy,
@@ -255,7 +262,7 @@ func (g *Manager) Step(budgetW float64, samples []Sample, lookahead func(int, mo
 		Matrices:       g.mx,
 		Lookahead:      lookahead,
 		MemBound:       memBound,
-		ExploreSeconds: g.predictor.ExploreSeconds,
+		ExploreSeconds: g.predictor.Explore(),
 		Hint:           g.hint,
 	}
 	g.hint = nil

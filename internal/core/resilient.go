@@ -172,8 +172,16 @@ type ResilientManager struct {
 
 // NewResilientManager builds a guarded manager for n cores.
 func NewResilientManager(plan modes.Plan, policy Policy, pred Predictor, n int, cfg GuardConfig) *ResilientManager {
+	return NewResilientManagerWith(plan, policy, pred, n, cfg)
+}
+
+// NewResilientManagerWith builds a guarded manager around any
+// MatrixPredictor (see NewManagerWith). The guard's sanitization runs
+// upstream of the predictor, so a stateful predictor only ever observes the
+// repaired sample stream.
+func NewResilientManagerWith(plan modes.Plan, policy Policy, pred MatrixPredictor, n int, cfg GuardConfig) *ResilientManager {
 	return &ResilientManager{
-		inner:    NewManager(plan, policy, pred, n),
+		inner:    NewManagerWith(plan, policy, pred, n),
 		plan:     plan,
 		cfg:      cfg.withDefaults(),
 		lastGood: make([]Sample, n),

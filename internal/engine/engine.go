@@ -83,10 +83,17 @@ var (
 // NewDecider builds the manager for n cores: guarded when guard is non-nil,
 // plain otherwise.
 func NewDecider(plan modes.Plan, policy core.Policy, pred core.Predictor, n int, guard *core.GuardConfig) Decider {
+	return NewDeciderWith(plan, policy, pred, n, guard)
+}
+
+// NewDeciderWith is NewDecider over any core.MatrixPredictor — the seam the
+// front ends use to arm the history-table phase predictor
+// (cmpsim.Options.History / fullsim.ManagedOptions.History).
+func NewDeciderWith(plan modes.Plan, policy core.Policy, pred core.MatrixPredictor, n int, guard *core.GuardConfig) Decider {
 	if guard != nil {
-		return core.NewResilientManager(plan, policy, pred, n, *guard)
+		return core.NewResilientManagerWith(plan, policy, pred, n, *guard)
 	}
-	return core.NewManager(plan, policy, pred, n)
+	return core.NewManagerWith(plan, policy, pred, n)
 }
 
 // Options configures one engine run. Plan, Budget, Decider, DeltaSim,

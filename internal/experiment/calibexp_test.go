@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/workload"
+)
+
+// Golden fingerprints for the fidelity experiments. Both fold bit-exact
+// per-interval series, so any drift in the predictor, the trace schema, the
+// replay lanes or the substrates moves them. Re-capture after an intentional
+// numerics change:
+//
+//	GOLDEN_CAPTURE=1 go test ./internal/experiment -run 'TestGoldenCalibrationReport|TestGoldenRegretTable' -v
+const (
+	goldenCalibration = uint64(0xcfa93e2b5f5a4455)
+	goldenRegret      = uint64(0x3522fe7caece6613)
+)
+
+// TestGoldenCalibrationReport pins the calibration sweep: matched
+// cmpsim/fullsim recordings scored with the last-value and history
+// predictors, bit-identical across worker counts.
+func TestGoldenCalibrationReport(t *testing.T) {
+	capture := os.Getenv("GOLDEN_CAPTURE") != ""
+	run := func(workers int) *CalibrationResult {
+		e := quickEnv(t)
+		e.Workers = workers
+		res, err := e.CalibrationSweep(workload.FourWay[0], []float64{0.80}, 8,
+			[]core.Policy{core.MaxBIPS{}, core.Priority{}}, core.DefaultHistory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		for name, s := range map[string]float64{
+			"cmp power":  c.Cmp.Power.MAPE,
+			"cmp instr":  c.Cmp.Instr.MAPE,
+			"full power": c.Full.Power.MAPE,
+			"full instr": c.Full.Instr.MAPE,
+		} {
+			// Last-value prediction on SPEC-like phases: errors must be
+			// sane, not vanishing — a near-zero MAPE would mean we scored a
+			// prediction against itself.
+			if s < 0 || s > 1.0 {
+				t.Errorf("%s/%s: %s MAPE %v out of range", c.Policy, "80%", name, s)
+			}
+		}
+	}
+	got := res.Fingerprint()
+	if capture {
+		fmt.Printf("\tgoldenCalibration = uint64(%#x)\n", got)
+	} else if got != goldenCalibration {
+		t.Errorf("calibration fingerprint %#x, want %#x — fidelity pipeline drifted", got, goldenCalibration)
+	}
+	if again := run(3).Fingerprint(); again != got {
+		t.Errorf("calibration sweep not worker-deterministic: %#x (1 worker) vs %#x (3 workers)", got, again)
+	}
+}
+
+// TestGoldenRegretTable pins the counterfactual replay fan: the recorded
+// policy's self-lane must show exactly zero regret, alternates must replay
+// deterministically across worker counts, and the folded fingerprint is
+// golden.
+func TestGoldenRegretTable(t *testing.T) {
+	capture := os.Getenv("GOLDEN_CAPTURE") != ""
+	run := func(workers int) *RegretResult {
+		e := quickEnv(t)
+		e.Workers = workers
+		res, err := e.CounterfactualReplay(workload.FourWay[0], core.MaxBIPS{}, 0.80, 12,
+			[]core.Policy{core.Priority{}, core.ChipWideDVFS{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want recorded + 2 alternates", len(res.Rows))
+	}
+	self := res.Rows[0]
+	if self.Policy != res.RecordedPolicy {
+		t.Fatalf("row 0 is %q, want the recorded policy %q", self.Policy, res.RecordedPolicy)
+	}
+	if self.Replay.CumVsRecorded != 0 || self.Replay.MatchRate() != 1 {
+		t.Errorf("self-replay regret %v at %.0f%% match — replay fidelity broken",
+			self.Replay.CumVsRecorded, self.Replay.MatchRate()*100)
+	}
+	got := res.Fingerprint()
+	if capture {
+		fmt.Printf("\tgoldenRegret      = uint64(%#x)\n", got)
+	} else if got != goldenRegret {
+		t.Errorf("regret fingerprint %#x, want %#x — replay pipeline drifted", got, goldenRegret)
+	}
+	if again := run(3).Fingerprint(); again != got {
+		t.Errorf("counterfactual replay not worker-deterministic: %#x vs %#x", got, again)
+	}
+}

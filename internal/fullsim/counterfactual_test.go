@@ -1,0 +1,104 @@
+package fullsim
+
+import (
+	"testing"
+
+	"gpm/internal/calib"
+	"gpm/internal/core"
+	"gpm/internal/fault"
+	"gpm/internal/modes"
+	"gpm/internal/obs"
+)
+
+// TestCounterfactualSelfIdentity pins calib.Replay's identity contract on the
+// cycle-level substrate: re-driving a managed run's recorded telemetry
+// through the same policy/guard must reproduce every recorded decision with
+// exactly zero regret — plain, faulted and guarded alike.
+func TestCounterfactualSelfIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  func() ManagedOptions
+	}{
+		{"maxbips-38W", func() ManagedOptions {
+			return ManagedOptions{Policy: core.MaxBIPS{}, BudgetW: 38, Intervals: 10}
+		}},
+		{"priority-30W", func() ManagedOptions {
+			return ManagedOptions{Policy: core.Priority{}, BudgetW: 30, Intervals: 10}
+		}},
+		{"maxbips-noise-guarded", func() ManagedOptions {
+			return ManagedOptions{
+				Policy:    core.MaxBIPS{},
+				BudgetW:   34,
+				Intervals: 10,
+				Fault:     &fault.Scenario{Seed: 7, PowerNoiseSigma: 0.08, InstrNoiseSigma: 0.03, DropProb: 0.05},
+				Guard:     &core.GuardConfig{},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := setup(t, []string{"ammp", "mcf", "crafty", "art"}, nil)
+			ch.Warm(5000)
+			opt := tc.opt()
+			col := obs.NewCollector(nil)
+			opt.Observer = col
+			if _, err := ch.Managed(opt); err != nil {
+				t.Fatal(err)
+			}
+			pred := core.Predictor{
+				Plan:              ch.plan,
+				PowerScale:        func(m modes.Mode) float64 { return ch.model.ScaleLaw(ch.plan, m) },
+				ExploreSeconds:    ch.cfg.Sim.Explore.Seconds(),
+				DerateTransitions: true,
+			}
+			rr, err := calib.Replay(col.Trace(), calib.ReplayOptions{
+				Plan:      ch.plan,
+				Predictor: pred,
+				Policy:    opt.Policy,
+				Guard:     opt.Guard,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rr.Intervals) != len(col.Trace().Records)-1 {
+				t.Fatalf("replayed %d intervals, trace has %d records (want records-1)", len(rr.Intervals), len(col.Trace().Records))
+			}
+			for _, ir := range rr.Intervals {
+				if !ir.Matched || ir.VsRecorded != 0 {
+					t.Fatalf("interval %d: self-replay diverged (matched=%v regret=%v)", ir.Interval, ir.Matched, ir.VsRecorded)
+				}
+			}
+			if rr.CumVsRecorded != 0 {
+				t.Fatalf("cumulative self-regret %v, want exactly 0", rr.CumVsRecorded)
+			}
+		})
+	}
+}
+
+// TestManagedHistoryPredictor exercises the opt-in phase predictor on the
+// cycle-level chip: the run must complete, decide every interval, and reject
+// the invalid configs the option contract promises to.
+func TestManagedHistoryPredictor(t *testing.T) {
+	ch := setup(t, []string{"ammp", "mcf", "crafty", "art"}, nil)
+	ch.Warm(5000)
+	res, err := ch.Managed(ManagedOptions{
+		Policy:    core.MaxBIPS{},
+		BudgetW:   34,
+		Intervals: 10,
+		History:   &core.HistoryConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInstr <= 0 {
+		t.Error("no instructions committed under the history predictor")
+	}
+	if _, err := ch.Managed(ManagedOptions{
+		Policy:    core.MaxBIPS{},
+		BudgetW:   34,
+		Intervals: 10,
+		History:   &core.HistoryConfig{Depth: 99},
+	}); err == nil {
+		t.Error("invalid history config accepted")
+	}
+}

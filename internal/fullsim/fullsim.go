@@ -446,6 +446,9 @@ type ManagedOptions struct {
 	Thermal *thermal.Governor
 	Fault   *fault.Scenario
 	Guard   *core.GuardConfig
+	// History mirrors cmpsim.Options.History: wrap the run's predictor in a
+	// history-table phase predictor. Incompatible with Replay.
+	History *core.HistoryConfig
 	// Supervisor mirrors cmpsim.Options.Supervisor: arms the engine's
 	// decision supervisor (deadline-bounded solving, degradation ladder,
 	// conformance gate). Incompatible with Replay.
@@ -484,6 +487,15 @@ func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
 	if replaying && opt.Supervisor != nil {
 		return nil, &engine.OptionError{Component: "fullsim", Field: "Supervisor", Value: "non-nil",
 			Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
+	}
+	if opt.History != nil {
+		if replaying {
+			return nil, &engine.OptionError{Component: "fullsim", Field: "History", Value: "non-nil",
+				Reason: "incompatible with Replay: recorded vectors must actuate verbatim"}
+		}
+		if err := opt.History.Validate(); err != nil {
+			return nil, &engine.OptionError{Component: "fullsim", Field: "History", Value: "", Reason: err.Error()}
+		}
 	}
 	budget := opt.Budget
 	if budget == nil {
@@ -528,7 +540,11 @@ func (ch *Chip) Managed(opt ManagedOptions) (*engine.Result, error) {
 		eopt.Stages = []engine.Stage{obs.NewReplayBudget(opt.Replay)}
 		eopt.PolicyName = opt.Replay.PolicyName()
 	} else {
-		eopt.Decider = engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard)
+		if opt.History != nil {
+			eopt.Decider = engine.NewDeciderWith(ch.plan, opt.Policy, core.NewHistoryPredictor(pred, *opt.History), n, opt.Guard)
+		} else {
+			eopt.Decider = engine.NewDecider(ch.plan, opt.Policy, pred, n, opt.Guard)
+		}
 		eopt.PolicyName = opt.Policy.Name()
 		if opt.Supervisor != nil {
 			sup := *opt.Supervisor

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeriesError is the typed error for fit statistics over paired series:
+// which statistic rejected the input and why. Callers that sweep many
+// policy × workload cells match on it to distinguish "undefined for this
+// data" (constant series, no usable pairs) from malformed input.
+type SeriesError struct {
+	// Stat names the statistic ("mape", "bias", "pearson").
+	Stat string
+	// Reason is the human-readable cause.
+	Reason string
+}
+
+func (e *SeriesError) Error() string {
+	return fmt.Sprintf("metrics: %s: %s", e.Stat, e.Reason)
+}
+
+// checkPaired validates a (pred, actual) pair for the fit statistics: both
+// series non-empty, equal length, and every entry finite. NaN/Inf inputs are
+// rejected rather than skipped — a prediction series with a NaN in it is a
+// bug upstream, not a data point to silently drop.
+func checkPaired(stat string, pred, actual []float64) error {
+	if len(pred) == 0 || len(actual) == 0 {
+		return &SeriesError{Stat: stat, Reason: "empty series"}
+	}
+	if len(pred) != len(actual) {
+		return &SeriesError{Stat: stat, Reason: fmt.Sprintf("length mismatch: %d predicted vs %d actual", len(pred), len(actual))}
+	}
+	for i := range pred {
+		if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+			return &SeriesError{Stat: stat, Reason: fmt.Sprintf("non-finite predicted value %v at index %d", pred[i], i)}
+		}
+		if math.IsNaN(actual[i]) || math.IsInf(actual[i], 0) {
+			return &SeriesError{Stat: stat, Reason: fmt.Sprintf("non-finite actual value %v at index %d", actual[i], i)}
+		}
+	}
+	return nil
+}
+
+// MAPE returns the mean absolute percentage error of pred against actual as
+// a fraction (0.03 = 3%): mean over i of |pred[i]−actual[i]| / |actual[i]|.
+// Pairs whose actual is exactly zero are skipped (the ratio is undefined
+// there); if every pair is skipped the statistic is undefined and a
+// *SeriesError is returned.
+func MAPE(pred, actual []float64) (float64, error) {
+	if err := checkPaired("mape", pred, actual); err != nil {
+		return 0, err
+	}
+	var sum float64
+	n := 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, &SeriesError{Stat: "mape", Reason: "all actual values are zero"}
+	}
+	return sum / float64(n), nil
+}
+
+// Bias returns the mean signed error mean(pred[i]−actual[i]) in the series'
+// own units: positive when the predictor overestimates on average.
+func Bias(pred, actual []float64) (float64, error) {
+	if err := checkPaired("bias", pred, actual); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range pred {
+		sum += pred[i] - actual[i]
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// PearsonR returns the Pearson correlation coefficient of the paired series.
+// A constant series has zero variance, making r undefined; that case returns
+// a *SeriesError rather than NaN so sweeps can report "undefined" instead of
+// poisoning downstream aggregates.
+func PearsonR(x, y []float64) (float64, error) {
+	if err := checkPaired("pearson", x, y); err != nil {
+		return 0, err
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, &SeriesError{Stat: "pearson", Reason: "r undefined: constant series (zero variance)"}
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard rounding: |r| may exceed 1 by an ulp on near-collinear data.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, nil
+}

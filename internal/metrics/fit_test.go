@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// errStat extracts the SeriesError.Stat of err, or "" for nil/untyped.
+func errStat(err error) string {
+	var se *SeriesError
+	if errors.As(err, &se) {
+		return se.Stat
+	}
+	return ""
+}
+
+func TestMAPE(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, actual []float64
+		want         float64
+		wantErr      bool
+	}{
+		{"exact", []float64{1, 2, 3}, []float64{1, 2, 3}, 0, false},
+		{"ten-percent-high", []float64{110, 220}, []float64{100, 200}, 0.10, false},
+		{"mixed-sign-errors", []float64{90, 110}, []float64{100, 100}, 0.10, false},
+		{"zero-actuals-skipped", []float64{5, 110}, []float64{0, 100}, 0.10, false},
+		{"negative-actuals", []float64{-90}, []float64{-100}, 0.10, false},
+		{"all-zero-actuals", []float64{1, 2}, []float64{0, 0}, 0, true},
+		{"empty", nil, nil, 0, true},
+		{"length-mismatch", []float64{1}, []float64{1, 2}, 0, true},
+		{"nan-pred", []float64{math.NaN()}, []float64{1}, 0, true},
+		{"inf-actual", []float64{1}, []float64{math.Inf(1)}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MAPE(tc.pred, tc.actual)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("MAPE(%v, %v) accepted, want error", tc.pred, tc.actual)
+				}
+				if errStat(err) != "mape" {
+					t.Errorf("error %v is not a *SeriesError for mape", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("MAPE = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBias(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, actual []float64
+		want         float64
+		wantErr      bool
+	}{
+		{"exact", []float64{1, 2}, []float64{1, 2}, 0, false},
+		{"over", []float64{12, 14}, []float64{10, 10}, 3, false},
+		{"under", []float64{8}, []float64{10}, -2, false},
+		{"cancelling", []float64{9, 11}, []float64{10, 10}, 0, false},
+		{"empty", []float64{}, []float64{}, 0, true},
+		{"length-mismatch", []float64{1, 2}, []float64{1}, 0, true},
+		{"nan", []float64{1}, []float64{math.NaN()}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Bias(tc.pred, tc.actual)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Bias(%v, %v) accepted, want error", tc.pred, tc.actual)
+				}
+				if errStat(err) != "bias" {
+					t.Errorf("error %v is not a *SeriesError for bias", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Bias = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	cases := []struct {
+		name    string
+		x, y    []float64
+		want    float64
+		wantErr bool
+	}{
+		{"perfect-positive", []float64{1, 2, 3}, []float64{10, 20, 30}, 1, false},
+		{"perfect-negative", []float64{1, 2, 3}, []float64{3, 2, 1}, -1, false},
+		{"affine", []float64{1, 2, 3, 4}, []float64{7, 9, 11, 13}, 1, false},
+		{"uncorrelated", []float64{1, -1, 1, -1}, []float64{1, 1, -1, -1}, 0, false},
+		{"constant-x", []float64{5, 5, 5}, []float64{1, 2, 3}, 0, true},
+		{"constant-y", []float64{1, 2, 3}, []float64{4, 4, 4}, 0, true},
+		{"empty", nil, []float64{}, 0, true},
+		{"length-mismatch", []float64{1, 2}, []float64{1, 2, 3}, 0, true},
+		{"inf", []float64{1, math.Inf(-1)}, []float64{1, 2}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := PearsonR(tc.x, tc.y)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("PearsonR(%v, %v) accepted, want error", tc.x, tc.y)
+				}
+				if errStat(err) != "pearson" {
+					t.Errorf("error %v is not a *SeriesError for pearson", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("PearsonR = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPearsonRClamped pins the ulp guard: near-collinear data must never
+// report |r| > 1.
+func TestPearsonRClamped(t *testing.T) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = 1e9 + float64(i)*1e-3
+		y[i] = 3*x[i] - 2e9
+	}
+	r, err := PearsonR(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1 || r < -1 {
+		t.Errorf("r = %v escapes [-1, 1]", r)
+	}
+}

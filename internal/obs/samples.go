@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"gpm/internal/core"
+	"gpm/internal/modes"
+)
+
+// This file exposes a Record's telemetry back in the engine's own types, so
+// offline consumers (internal/calib's calibration scoring and counterfactual
+// replay) can re-drive managers and predictors from a recorded trace without
+// re-deriving the JSONL field conventions.
+//
+// Done flags are not serialized: §5.1 ends a run at the first completion, so
+// no recorded decision ever observed a finished core — every reconstructed
+// sample is live.
+
+// ObservedSamples reconstructs the per-core samples the manager actually saw
+// (post-fault-stage), appending to buf (pass nil to allocate).
+func (r *Record) ObservedSamples(buf []core.Sample) []core.Sample {
+	buf = buf[:0]
+	for c := range r.PowerW {
+		var instr float64
+		if c < len(r.Instr) {
+			instr = r.Instr[c]
+		}
+		buf = append(buf, core.Sample{PowerW: r.PowerW[c], Instr: instr})
+	}
+	return buf
+}
+
+// TrueSamples reconstructs the substrate's honest per-core observations:
+// TruePowerW/TrueInstr when a fault stage replaced the observation, the
+// observed series otherwise (nil means identical, per the schema). Appends
+// to buf (pass nil to allocate).
+func (r *Record) TrueSamples(buf []core.Sample) []core.Sample {
+	if len(r.TruePowerW) == 0 && len(r.TrueInstr) == 0 {
+		return r.ObservedSamples(buf)
+	}
+	buf = buf[:0]
+	for c := range r.TruePowerW {
+		var instr float64
+		if c < len(r.TrueInstr) {
+			instr = r.TrueInstr[c]
+		}
+		buf = append(buf, core.Sample{PowerW: r.TruePowerW[c], Instr: instr})
+	}
+	return buf
+}
+
+// ModeVector converts the record's adopted vector to modes.Vector, appending
+// to buf (pass nil to allocate).
+func (r *Record) ModeVector(buf modes.Vector) modes.Vector {
+	buf = buf[:0]
+	for _, m := range r.Vector {
+		buf = append(buf, modes.Mode(m))
+	}
+	return buf
+}
