@@ -29,7 +29,7 @@ check: race
 # engine decision-loop benchmarks (ns/decision across manager + middleware
 # configurations on the synthetic substrate).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkSolverWarm|BenchmarkHier1024|BenchmarkDeadlineSolver' -benchmem ./internal/solver \
+	$(GO) test -run '^$$' -bench 'BenchmarkSolver$$|BenchmarkSolverWarm|BenchmarkSolverDelta|BenchmarkHier1024|BenchmarkDeadlineSolver' -benchmem ./internal/solver \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 	@echo wrote BENCH_solver.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine$$' -benchmem ./internal/engine \
@@ -62,6 +62,19 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -check BENCH_engine.json -slack 1.15
 	$(GO) test -run '^$$' -bench 'BenchmarkHistoryPredictor/warm' -benchtime 100x -benchmem ./internal/core \
 		| $(GO) run ./cmd/benchjson -check BENCH_calib.json
+	# Delta-decision latency gates: the generation memo hit must stay under
+	# the 1 µs ceiling (and near its baseline), and the K=1 certified delta
+	# must stay ≥10× faster than the warm full solve on the same machine.
+	$(GO) test -run '^$$' -bench 'BenchmarkSolverDelta' -benchtime 300x -benchmem ./internal/solver \
+		| $(GO) run ./cmd/benchjson -check BENCH_solver.json -match 'SolverDelta' \
+			-ns-match 'bb-gen-steady|bb-delta' -ns-slack 2.5 \
+			-ns-cap 'bb-gen-steady/cores=1024=1000' \
+			-ratio 'bb-delta/cores=1024<=0.1*bb-warm-full/cores=1024'
+	# Fleet steady state: the 0-dirty epoch (telemetry fold + skip, no solve)
+	# must stay under the 6.5 µs ceiling.
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetEpochSteady' -benchtime 500x -benchmem ./internal/fleet \
+		| $(GO) run ./cmd/benchjson -check BENCH_fleet.json -match 'FleetEpochSteady' \
+			-ns-match 'FleetEpochSteady' -ns-slack 2.5 -ns-cap 'FleetEpochSteady=6500'
 	@echo bench-check passed
 
 # The refactor-safety gate: golden fingerprints pin the trace-based control

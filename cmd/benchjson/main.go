@@ -15,6 +15,17 @@
 // baseline row times the -slack factor. A 0-alloc baseline therefore admits
 // zero fresh allocations — the steady-state contract `make bench-check`
 // enforces in CI.
+//
+// Three further gates ride along with -check, all off by default:
+//
+//   - -ns-match selects rows whose ns/op must stay within -ns-slack × the
+//     baseline row (latency regression tolerance for the memo-hit and
+//     delta-solve fast paths);
+//   - -ns-cap "regex=ns[,regex=ns...]" pins absolute ns/op ceilings on fresh
+//     rows (the issue's hard numbers, independent of any baseline);
+//   - -ratio "A<=F*B" relates two fresh rows: the row matching regex A must
+//     run in at most F times the ns/op of the row matching regex B (the
+//     ≥10×-faster-than-full-solve contract, machine-relative by design).
 package main
 
 import (
@@ -40,6 +51,10 @@ func main() {
 	check := flag.String("check", "", "baseline JSON to compare fresh results against (allocs/op gate)")
 	match := flag.String("match", "SolverWarm|steady|drift|warm-", "regexp selecting rows the -check gate applies to")
 	slack := flag.Float64("slack", 1.05, "multiplicative headroom over the baseline allocs/op (0-alloc baselines admit none)")
+	nsMatch := flag.String("ns-match", "", "regexp selecting rows whose ns/op is gated against the baseline (empty: off)")
+	nsSlack := flag.Float64("ns-slack", 1.5, "multiplicative headroom over the baseline ns/op for -ns-match rows")
+	nsCap := flag.String("ns-cap", "", "comma-separated regex=ns pairs pinning absolute ns/op ceilings on fresh rows")
+	ratio := flag.String("ratio", "", `"A<=F*B" gate: fresh row A's ns/op must be at most F times fresh row B's`)
 	flag.Parse()
 
 	var results []Result
@@ -58,7 +73,15 @@ func main() {
 		results = []Result{}
 	}
 	if *check != "" {
-		if err := checkBaseline(results, *check, *match, *slack); err != nil {
+		if err := checkBaseline(results, *check, *match, *slack, *nsMatch, *nsSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := checkCaps(results, *nsCap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := checkRatio(results, *ratio); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -78,10 +101,16 @@ func main() {
 // retired ones linger in old baselines), but a run in which the selector
 // matches nothing at all is an error — a renamed benchmark must not silently
 // disarm the gate.
-func checkBaseline(fresh []Result, path, match string, slack float64) error {
+func checkBaseline(fresh []Result, path, match string, slack float64, nsMatch string, nsSlack float64) error {
 	sel, err := regexp.Compile(match)
 	if err != nil {
 		return fmt.Errorf("bad -match regexp: %v", err)
+	}
+	var nsSel *regexp.Regexp
+	if nsMatch != "" {
+		if nsSel, err = regexp.Compile(nsMatch); err != nil {
+			return fmt.Errorf("bad -ns-match regexp: %v", err)
+		}
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -95,9 +124,11 @@ func checkBaseline(fresh []Result, path, match string, slack float64) error {
 	for _, r := range base {
 		baseline[r.Name] = r
 	}
-	compared, failed := 0, 0
+	compared, nsCompared, failed := 0, 0, 0
 	for _, r := range fresh {
-		if !sel.MatchString(r.Name) {
+		allocRow := sel.MatchString(r.Name)
+		nsRow := nsSel != nil && nsSel.MatchString(r.Name)
+		if !allocRow && !nsRow {
 			continue
 		}
 		b, ok := baseline[r.Name]
@@ -105,27 +136,136 @@ func checkBaseline(fresh []Result, path, match string, slack float64) error {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline row, skipping\n", r.Name)
 			continue
 		}
-		got, gok := r.Metrics["allocs/op"]
-		want, wok := b.Metrics["allocs/op"]
-		if !gok || !wok {
-			continue
+		if allocRow {
+			got, gok := r.Metrics["allocs/op"]
+			want, wok := b.Metrics["allocs/op"]
+			if gok && wok {
+				compared++
+				if got > want*slack {
+					failed++
+					fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %g allocs/op, baseline %g (slack %.2f)\n",
+						r.Name, got, want, slack)
+				} else {
+					fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g allocs/op (baseline %g)\n", r.Name, got, want)
+				}
+			}
 		}
-		compared++
-		if got > want*slack {
-			failed++
-			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %g allocs/op, baseline %g (slack %.2f)\n",
-				r.Name, got, want, slack)
-		} else {
-			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g allocs/op (baseline %g)\n", r.Name, got, want)
+		if nsRow {
+			got, gok := r.Metrics["ns/op"]
+			want, wok := b.Metrics["ns/op"]
+			if gok && wok {
+				nsCompared++
+				if got > want*nsSlack {
+					failed++
+					fmt.Fprintf(os.Stderr, "benchjson: LATENCY REGRESSION %s: %g ns/op, baseline %g (slack %.2f)\n",
+						r.Name, got, want, nsSlack)
+				} else {
+					fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g ns/op (baseline %g, slack %.2f)\n", r.Name, got, want, nsSlack)
+				}
+			}
 		}
 	}
 	if compared == 0 {
 		return fmt.Errorf("no rows matched %q against %s — gate disarmed?", match, path)
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d allocation regression(s) vs %s", failed, path)
+	if nsSel != nil && nsCompared == 0 {
+		return fmt.Errorf("no rows matched -ns-match %q against %s — gate disarmed?", nsMatch, path)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d row(s) within baseline %s\n", compared, path)
+	if failed > 0 {
+		return fmt.Errorf("%d regression(s) vs %s", failed, path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d alloc row(s), %d latency row(s) within baseline %s\n", compared, nsCompared, path)
+	return nil
+}
+
+// checkCaps enforces absolute ns/op ceilings: spec is a comma-separated list
+// of regex=ns pairs; every pair must match at least one fresh row, and every
+// matched row must run under its ceiling.
+func checkCaps(fresh []Result, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		i := strings.LastIndex(pair, "=")
+		if i < 0 {
+			return fmt.Errorf("bad -ns-cap pair %q (want regex=ns)", pair)
+		}
+		sel, err := regexp.Compile(pair[:i])
+		if err != nil {
+			return fmt.Errorf("bad -ns-cap regexp %q: %v", pair[:i], err)
+		}
+		cap, err := strconv.ParseFloat(pair[i+1:], 64)
+		if err != nil {
+			return fmt.Errorf("bad -ns-cap ceiling %q: %v", pair[i+1:], err)
+		}
+		matched := 0
+		for _, r := range fresh {
+			got, ok := r.Metrics["ns/op"]
+			if !sel.MatchString(r.Name) || !ok {
+				continue
+			}
+			matched++
+			if got > cap {
+				return fmt.Errorf("CEILING %s: %g ns/op exceeds the %g ns cap", r.Name, got, cap)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g ns/op under the %g ns cap\n", r.Name, got, cap)
+		}
+		if matched == 0 {
+			return fmt.Errorf("no rows matched -ns-cap %q — gate disarmed?", pair[:i])
+		}
+	}
+	return nil
+}
+
+// checkRatio enforces a cross-row speedup: spec "A<=F*B" requires the unique
+// fresh row matching regex A to report at most F times the ns/op of the
+// unique fresh row matching regex B.
+func checkRatio(fresh []Result, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	le := strings.Index(spec, "<=")
+	star := strings.Index(spec, "*")
+	if le < 0 || star < le {
+		return fmt.Errorf("bad -ratio %q (want A<=F*B)", spec)
+	}
+	f, err := strconv.ParseFloat(spec[le+2:star], 64)
+	if err != nil {
+		return fmt.Errorf("bad -ratio factor in %q: %v", spec, err)
+	}
+	find := func(expr string) (Result, error) {
+		sel, err := regexp.Compile(expr)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad -ratio regexp %q: %v", expr, err)
+		}
+		var hit *Result
+		for i := range fresh {
+			if _, ok := fresh[i].Metrics["ns/op"]; ok && sel.MatchString(fresh[i].Name) {
+				if hit != nil {
+					return Result{}, fmt.Errorf("-ratio regexp %q matches both %s and %s", expr, hit.Name, fresh[i].Name)
+				}
+				hit = &fresh[i]
+			}
+		}
+		if hit == nil {
+			return Result{}, fmt.Errorf("-ratio regexp %q matched no fresh row", expr)
+		}
+		return *hit, nil
+	}
+	a, err := find(spec[:le])
+	if err != nil {
+		return err
+	}
+	b, err := find(spec[star+1:])
+	if err != nil {
+		return err
+	}
+	if a.Metrics["ns/op"] > f*b.Metrics["ns/op"] {
+		return fmt.Errorf("RATIO %s: %g ns/op exceeds %g × %s (%g ns/op)",
+			a.Name, a.Metrics["ns/op"], f, b.Name, b.Metrics["ns/op"])
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ok %s: %g ns/op ≤ %g × %s (%g ns/op)\n",
+		a.Name, a.Metrics["ns/op"], f, b.Name, b.Metrics["ns/op"])
 	return nil
 }
 

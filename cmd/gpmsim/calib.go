@@ -12,7 +12,11 @@ import (
 	"gpm/internal/workload"
 )
 
-var flagJSON = flag.Bool("json", false, "emit the 'calib'/'regret' reports as JSON (full per-interval series) instead of tables")
+var (
+	flagJSON        = flag.Bool("json", false, "emit the 'calib'/'regret' reports (full per-interval series) and the 'run'/'xcheck'/'fleet' summaries (engine counters, delta-solve telemetry) as JSON instead of tables")
+	flagHistorySave = flag.String("history-save", "", "after 'calib', write the history predictor's trained phase-signature tables (versioned JSON) from the sweep's reference lane to this file")
+	flagHistoryLoad = flag.String("history-load", "", "before 'calib', prime every history-predictor lane from this previously saved state file (validated; must match the sweep's history config and core count)")
+)
 
 // calibCmd runs the predictor-calibration sweep: matched cmpsim/fullsim
 // recordings at -budget for the default policy set, scored with the
@@ -26,9 +30,36 @@ func calibCmd(env *experiment.Env) error {
 	if intervals <= 0 {
 		intervals = 8
 	}
-	res, err := env.CalibrationSweep(combo, []float64{*flagBudget}, intervals, nil, core.DefaultHistory())
+	var prime *core.HistoryState
+	if *flagHistoryLoad != "" {
+		data, err := os.ReadFile(*flagHistoryLoad)
+		if err != nil {
+			return fmt.Errorf("history-load: %w", err)
+		}
+		prime = &core.HistoryState{}
+		if err := json.Unmarshal(data, prime); err != nil {
+			return fmt.Errorf("history-load %s: %w", *flagHistoryLoad, err)
+		}
+		if err := prime.Validate(); err != nil {
+			return fmt.Errorf("history-load %s: %w", *flagHistoryLoad, err)
+		}
+	}
+	res, trained, err := env.CalibrationSweepWithState(combo, []float64{*flagBudget}, intervals, nil, core.DefaultHistory(), prime)
 	if err != nil {
 		return err
+	}
+	if *flagHistorySave != "" {
+		if trained == nil {
+			return fmt.Errorf("history-save: sweep produced no trained state")
+		}
+		data, err := json.MarshalIndent(trained, "", "  ")
+		if err != nil {
+			return fmt.Errorf("history-save: %w", err)
+		}
+		if err := os.WriteFile(*flagHistorySave, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("history-save: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "history state: %d cores -> %s\n", len(trained.Tables), *flagHistorySave)
 	}
 	if *flagJSON {
 		return emitJSON(res)

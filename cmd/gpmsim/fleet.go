@@ -62,6 +62,9 @@ func fleetCmd(env *experiment.Env) error {
 	if err != nil {
 		return err
 	}
+	if *flagJSON {
+		return emitJSON(newFleetSummary(res))
+	}
 
 	t := report.NewTable(fmt.Sprintf("Fleet: %d chips × %s, cap 90%% -> 65%% of %.0f W at %v",
 		res.Chips, cfg.Combo.ID, envelope, cut),

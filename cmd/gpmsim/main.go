@@ -406,6 +406,9 @@ func xcheck(env *experiment.Env) error {
 	if err != nil {
 		return err
 	}
+	if *flagJSON {
+		return emitJSON(newXcheckSummary(res))
+	}
 	t := report.NewTable(fmt.Sprintf("Cross-substrate agreement: %s at %.0f%% budget (%.1f W, %d intervals)",
 		res.ComboID, res.BudgetFrac*100, res.BudgetW, res.Intervals),
 		"policy", "trace deg", "full deg", "gap", "trace power", "full power", "trace fit", "full fit")
@@ -534,7 +537,10 @@ func custom(env *experiment.Env) error {
 		if serr != nil {
 			return serr
 		}
-		pol = core.SolverPolicy{Solver: s}
+		// Session-capable: the run is a single sequential engine loop, so the
+		// pointer policy is safe and rides the warm/delta fast paths the
+		// sweeps' copied value policies must forgo.
+		pol = core.NewSolverPolicy(s)
 	} else {
 		pol, err = core.SolverRegistry(strings.ToLower(*flagPolicy), solverOpts())
 		if err != nil {
@@ -582,6 +588,19 @@ func custom(env *experiment.Env) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d decisions -> %s\n", res.Obs.TraceRecords, *flagTrace)
+	}
+	if *flagJSON {
+		return emitJSON(runSummary{
+			Kind:          "run",
+			Policy:        pol.Name(),
+			Combo:         combo.ID,
+			BudgetFrac:    *flagBudget,
+			BudgetW:       *flagBudget * base.EnvelopePowerW(),
+			Degradation:   metrics.Degradation(res.TotalInstr, base.TotalInstr),
+			AvgChipPowerW: res.AvgChipPowerW(),
+			TotalInstr:    res.TotalInstr,
+			Obs:           newObsSummary(res.Obs),
+		})
 	}
 	sp, err := metrics.PerThreadSpeedups(res.PerCoreInstr, base.PerCoreInstr)
 	if err != nil {

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gpm/internal/modes"
+)
+
+// TestMatricesGenerationStamping pins the handshake protocol: fresh layouts
+// get a fresh nonzero genID with every core stamped, unchanged inputs skip
+// both fill and stamp, and a single changed core bumps exactly its own
+// generation plus the overall one.
+func TestMatricesGenerationStamping(t *testing.T) {
+	pred := predictor()
+	cur := modes.Vector{modes.Turbo, modes.Eff1, modes.Eff2}
+	s := samples([]float64{20, 15, 9}, []float64{1000, 850, 600})
+
+	var mx Matrices
+	pred.MatricesInto(&mx, cur, s)
+	gens, gen, genID := mx.Generations()
+	if genID == 0 {
+		t.Fatal("fresh layout not tracked (genID 0)")
+	}
+	if gen != 1 {
+		t.Fatalf("first fill gen = %d, want 1", gen)
+	}
+	for c, g := range gens {
+		if g != 1 {
+			t.Fatalf("core %d gen = %d after first fill, want 1", c, g)
+		}
+	}
+
+	// Identical inputs: nothing moves.
+	pred.MatricesInto(&mx, cur, s)
+	gens2, gen2, genID2 := mx.Generations()
+	if gen2 != 1 || genID2 != genID {
+		t.Fatalf("idle call moved gen %d->%d or genID %d->%d", gen, gen2, genID, genID2)
+	}
+	for c, g := range gens2 {
+		if g != 1 {
+			t.Fatalf("idle call restamped core %d to %d", c, g)
+		}
+	}
+
+	// One core's sample changes: only it restamps.
+	s[1].Instr = 900
+	pred.MatricesInto(&mx, cur, s)
+	gens3, gen3, _ := mx.Generations()
+	if gen3 != 2 {
+		t.Fatalf("dirty call gen = %d, want 2", gen3)
+	}
+	if want := []uint64{1, 2, 1}; !reflect.DeepEqual(append([]uint64(nil), gens3...), want) {
+		t.Fatalf("gens after one dirty core = %v, want %v", gens3, want)
+	}
+
+	// A mode change alone is also a dirty input.
+	cur[2] = modes.Turbo
+	pred.MatricesInto(&mx, cur, s)
+	gens4, gen4, _ := mx.Generations()
+	if gen4 != 3 || gens4[2] != 3 || gens4[0] != 1 || gens4[1] != 2 {
+		t.Fatalf("gens after mode change = %v (gen %d), want [1 2 3] (gen 3)", gens4, gen4)
+	}
+}
+
+// TestMatricesGenerationSkipBitIdentity drives a reused Matrices through a
+// sequence of partial input changes and checks every snapshot is bit-
+// identical to a from-scratch fill — the row-skip's correctness contract.
+func TestMatricesGenerationSkipBitIdentity(t *testing.T) {
+	pred := predictor()
+	n := 6
+	cur := modes.Uniform(n, modes.Turbo)
+	s := make([]Sample, n)
+	for c := range s {
+		s[c] = Sample{PowerW: 10 + float64(c), Instr: 1e6 + 1e5*float64(c)}
+	}
+
+	var mx Matrices
+	for step := 0; step < 20; step++ {
+		// Mutate a rotating subset: one sample, sometimes a mode, sometimes a
+		// Done flip, leaving most cores untouched.
+		c := step % n
+		switch step % 4 {
+		case 0:
+			s[c].Instr *= 1.01
+		case 1:
+			cur[c] = modes.Mode((int(cur[c]) + 1) % pred.Plan.NumModes())
+		case 2:
+			s[c].Done = !s[c].Done
+		case 3:
+			// No change at all: the whole call must skip.
+		}
+		pred.MatricesInto(&mx, cur, s)
+		want := pred.Matrices(cur, s)
+		for c := range want.Power {
+			for m := range want.Power[c] {
+				if mx.Power[c][m] != want.Power[c][m] || mx.Instr[c][m] != want.Instr[c][m] {
+					t.Fatalf("step %d: core %d mode %d diverged: (%v,%v) != (%v,%v)",
+						step, c, m, mx.Power[c][m], mx.Instr[c][m], want.Power[c][m], want.Instr[c][m])
+				}
+			}
+		}
+	}
+}
+
+// TestMatricesGenerationNaNAlwaysDirty pins the conservative NaN rule: a
+// poisoned sample compares unequal to itself, so its core restamps every
+// call and the skip can never freeze a NaN-derived row.
+func TestMatricesGenerationNaNAlwaysDirty(t *testing.T) {
+	pred := predictor()
+	cur := modes.Vector{modes.Turbo, modes.Eff1}
+	s := samples([]float64{20, 15}, []float64{1000, 850})
+	s[0].PowerW = math.NaN()
+
+	var mx Matrices
+	pred.MatricesInto(&mx, cur, s)
+	_, gen1, _ := mx.Generations()
+	pred.MatricesInto(&mx, cur, s)
+	gens, gen2, _ := mx.Generations()
+	if gen2 != gen1+1 {
+		t.Fatalf("NaN core did not dirty the call: gen %d -> %d", gen1, gen2)
+	}
+	if gens[0] != gen2 {
+		t.Fatalf("NaN core not restamped: gens=%v gen=%d", gens, gen2)
+	}
+	if gens[1] != 1 {
+		t.Fatalf("clean core restamped alongside NaN: gens=%v", gens)
+	}
+}
+
+// TestMatricesGenerationUntracked checks hand-shaped matrices (not laid out
+// by MatricesInto) report the untracked sentinel.
+func TestMatricesGenerationUntracked(t *testing.T) {
+	mx := Matrices{
+		Power: [][]float64{{1, 2}},
+		Instr: [][]float64{{3, 4}},
+	}
+	if gens, gen, genID := mx.Generations(); gens != nil || gen != 0 || genID != 0 {
+		t.Fatalf("hand-shaped matrices tracked: gens=%v gen=%d genID=%d", gens, gen, genID)
+	}
+}
+
+// TestMatricesGenerationFreshIDPerLayout checks two independent layouts never
+// share a genID (the memo's identity key).
+func TestMatricesGenerationFreshIDPerLayout(t *testing.T) {
+	pred := predictor()
+	cur := modes.Vector{modes.Turbo}
+	s := samples([]float64{20}, []float64{1000})
+	var a, b Matrices
+	pred.MatricesInto(&a, cur, s)
+	pred.MatricesInto(&b, cur, s)
+	_, _, ida := a.Generations()
+	_, _, idb := b.Generations()
+	if ida == idb {
+		t.Fatalf("independent layouts share genID %d", ida)
+	}
+}
+
+// TestHistoryStateRoundTrip pins the persistence API: export after training,
+// validate, import into a fresh predictor, and check the tables (and only
+// the tables) carried over.
+func TestHistoryStateRoundTrip(t *testing.T) {
+	plan := testPlanH(t)
+	base := Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	cfg := HistoryConfig{Depth: 2, Buckets: 3, StepFrac: 0.08}
+	a := NewHistoryPredictor(base, cfg)
+	cur := modes.Uniform(2, modes.Turbo)
+
+	// A repeating ×1.08 / ÷1.08 alternation trains table entries once the
+	// pattern register warms.
+	var mx Matrices
+	instr := []float64{1e6, 5e5}
+	for i := 0; i < 10; i++ {
+		s := []Sample{{PowerW: 10, Instr: instr[0]}, {PowerW: 8, Instr: instr[1]}}
+		a.MatricesInto(&mx, cur, s)
+		if i%2 == 0 {
+			instr[0] *= 1.08
+			instr[1] *= 1.08
+		} else {
+			instr[0] /= 1.08
+			instr[1] /= 1.08
+		}
+	}
+
+	st := a.ExportState()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("exported state invalid: %v", err)
+	}
+	if len(st.Tables) != 2 {
+		t.Fatalf("exported %d tables, want 2", len(st.Tables))
+	}
+	trained := 0
+	for _, table := range st.Tables {
+		for _, e := range table {
+			if e != historyCold {
+				trained++
+			}
+		}
+	}
+	if trained == 0 {
+		t.Fatal("training produced no table entries; the round trip is vacuous")
+	}
+
+	b := NewHistoryPredictor(base, cfg)
+	if err := b.ImportState(st); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if got := b.ExportState(); !reflect.DeepEqual(got.Tables, st.Tables) {
+		t.Fatal("tables did not survive the round trip")
+	}
+	for c := range b.cores {
+		if b.cores[c].warmth != 0 || b.cores[c].prevOK {
+			t.Fatalf("core %d volatile registers imported: %+v", c, b.cores[c])
+		}
+	}
+
+	// A matching-width decision preserves the imported tables...
+	s := []Sample{{PowerW: 10, Instr: 1e6}, {PowerW: 8, Instr: 5e5}}
+	b.MatricesInto(&mx, cur, s)
+	if got := b.ExportState(); !reflect.DeepEqual(got.Tables, st.Tables) {
+		t.Fatal("matching-width decision wiped imported tables")
+	}
+	// ...and a mismatched width resets them (the documented discard).
+	b.MatricesInto(&mx, modes.Uniform(3, modes.Turbo),
+		[]Sample{{PowerW: 10, Instr: 1e6}, {PowerW: 8, Instr: 5e5}, {PowerW: 6, Instr: 3e5}})
+	if got := b.ExportState(); len(got.Tables) != 3 {
+		t.Fatalf("width change kept %d tables, want reset to 3", len(got.Tables))
+	}
+}
+
+// TestHistoryStateValidation is the table-driven rejection check for
+// ImportState and Validate.
+func TestHistoryStateValidation(t *testing.T) {
+	plan := testPlanH(t)
+	base := Predictor{Plan: plan, ExploreSeconds: 500e-6}
+	cfg := HistoryConfig{Depth: 2, Buckets: 3, StepFrac: 0.08}
+	mk := func() *HistoryState {
+		h := NewHistoryPredictor(base, cfg)
+		var mx Matrices
+		h.MatricesInto(&mx, modes.Uniform(2, modes.Turbo),
+			[]Sample{{PowerW: 10, Instr: 1e6}, {PowerW: 8, Instr: 5e5}})
+		return h.ExportState()
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*HistoryState)
+	}{
+		{"bad version", func(st *HistoryState) { st.Version = 99 }},
+		{"invalid config", func(st *HistoryState) { st.Config.StepFrac = -1 }},
+		{"short table", func(st *HistoryState) { st.Tables[0] = st.Tables[0][:1] }},
+		{"entry out of range", func(st *HistoryState) { st.Tables[1][0] = 100 }},
+	}
+	for _, tc := range cases {
+		st := mk()
+		tc.mut(st)
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		h := NewHistoryPredictor(base, cfg)
+		if err := h.ImportState(st); err == nil {
+			t.Errorf("%s: ImportState accepted", tc.name)
+		}
+	}
+
+	// Config mismatch: a valid state for a different geometry.
+	st := mk()
+	other := NewHistoryPredictor(base, HistoryConfig{Depth: 3, Buckets: 3, StepFrac: 0.08})
+	if err := other.ImportState(st); err == nil {
+		t.Error("config-mismatched import accepted")
+	}
+
+	// Importing over a live predictor is refused.
+	live := NewHistoryPredictor(base, cfg)
+	var mx Matrices
+	live.MatricesInto(&mx, modes.Uniform(2, modes.Turbo),
+		[]Sample{{PowerW: 10, Instr: 1e6}, {PowerW: 8, Instr: 5e5}})
+	if err := live.ImportState(mk()); err == nil {
+		t.Error("import over a live predictor accepted")
+	}
+}

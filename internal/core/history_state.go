@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// HistoryStateVersion is the schema version ExportState writes and
+// ImportState accepts. Bump it when the table encoding changes shape.
+const HistoryStateVersion = 1
+
+// HistoryState is the versioned, portable snapshot of a HistoryPredictor's
+// learned phase-signature tables — everything that is worth carrying across
+// runs. The volatile per-core registers (pattern, warmth, last instruction
+// count) are deliberately excluded: they describe where the *previous* run's
+// final intervals stood, which is meaningless at the start of a new one, so
+// an imported predictor starts with trained tables and cold registers.
+//
+// The struct is plain data, json.Marshal-able as-is; front ends (gpmsim
+// calib -history-save/-history-load) own the file I/O.
+type HistoryState struct {
+	Version int           `json:"version"`
+	Config  HistoryConfig `json:"config"`
+	// Tables[c] is core c's pattern table: entry i is the delta bucket in
+	// [−Buckets, Buckets] observed to follow pattern i, or −128 (untrained).
+	Tables [][]int8 `json:"tables"`
+}
+
+// Validate checks a deserialized state for internal consistency: known
+// version, a config its own Validate accepts, every table sized for that
+// config, and every entry either trained-in-range or the cold marker.
+func (st *HistoryState) Validate() error {
+	if st.Version != HistoryStateVersion {
+		return fmt.Errorf("core: history state version %d, want %d", st.Version, HistoryStateVersion)
+	}
+	if err := st.Config.Validate(); err != nil {
+		return fmt.Errorf("core: history state config: %w", err)
+	}
+	cfg := st.Config.withDefaults()
+	tsize := cfg.tableSize()
+	for c, table := range st.Tables {
+		if len(table) != tsize {
+			return fmt.Errorf("core: history state core %d: table has %d entries, config wants %d", c, len(table), tsize)
+		}
+		for i, e := range table {
+			if e != historyCold && (int(e) < -cfg.Buckets || int(e) > cfg.Buckets) {
+				return fmt.Errorf("core: history state core %d entry %d: bucket %d outside [%d, %d]", c, i, e, -cfg.Buckets, cfg.Buckets)
+			}
+		}
+	}
+	return nil
+}
+
+// ExportState snapshots the predictor's trained tables. Before the first
+// decision (no cores yet) it returns a valid state with zero tables. The
+// returned state owns copies; mutating it does not affect the predictor.
+func (h *HistoryPredictor) ExportState() *HistoryState {
+	st := &HistoryState{Version: HistoryStateVersion, Config: h.cfg, Tables: make([][]int8, len(h.cores))}
+	for c := range h.cores {
+		st.Tables[c] = append([]int8(nil), h.cores[c].table...)
+	}
+	return st
+}
+
+// ImportState primes the predictor with previously exported tables: the
+// per-core tables are copied in and the volatile registers start cold, so
+// the first Depth intervals behave exactly like an untrained predictor and
+// later lookups benefit from the prior run's training. The state must
+// Validate, its config must equal the predictor's (a different geometry
+// indexes the tables differently), and the predictor must not have decided
+// yet in this run (importing over live state would splice two histories).
+//
+// The imported core count must match the width of the run the predictor
+// will drive: MatricesInto resets all per-core state when the width
+// differs, silently discarding the import.
+func (h *HistoryPredictor) ImportState(st *HistoryState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if got := st.Config.withDefaults(); got != h.cfg {
+		return fmt.Errorf("core: history state config %+v does not match predictor config %+v", got, h.cfg)
+	}
+	if len(h.cores) != 0 {
+		return fmt.Errorf("core: ImportState on a predictor that has already decided (%d cores live)", len(h.cores))
+	}
+	n := len(st.Tables)
+	h.cores = make([]historyCore, n)
+	for c := range h.cores {
+		h.cores[c].table = append([]int8(nil), st.Tables[c]...)
+	}
+	h.scratch = make([]Sample, n)
+	return nil
+}

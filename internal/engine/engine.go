@@ -193,6 +193,7 @@ type Loop struct {
 	// supervisor degradation); budget jumps and core death/completion are
 	// re-checked at decision time against prevBudget/prevDeadDone.
 	sessOwner    sessionOwner
+	sessInval    sessionInvalidator
 	warmed       bool
 	prevBudget   float64
 	prevDeadDone int
@@ -283,6 +284,15 @@ func New(sub Substrate, opt Options) (*Loop, error) {
 			so.EnsureSession()
 			l.sessOwner = so
 		}
+		l.sessInval, _ = ph.Policy().(sessionInvalidator)
+	}
+	// When the decider itself mediates invalidation — the watchdog supervisor
+	// defers it while an abandoned decision still runs the policy's session on
+	// the worker goroutine — route through it instead of the bare policy.
+	if l.sessInval != nil {
+		if si, ok := l.decider.(sessionInvalidator); ok {
+			l.sessInval = si
+		}
 	}
 
 	// Bootstrap sample: the local monitors report each core's behaviour at
@@ -372,9 +382,21 @@ func (l *Loop) decide() error {
 	warm := l.warmed
 	if deadDone != l.prevDeadDone {
 		warm = false
+		// The live-core population changed shape: the session's memoized
+		// optimum and delta certificate describe a chip that no longer
+		// exists. Drop them before the decision so the delta fast path
+		// cannot patch against stale structure.
+		if l.sessInval != nil {
+			l.sessInval.InvalidateSession()
+			res.Obs.InvalidateCoreDeath++
+		}
 	}
 	if l.prevBudget != 0 && math.Abs(l.budget-l.prevBudget) > 0.25*math.Abs(l.prevBudget) {
 		warm = false
+		if l.sessInval != nil {
+			l.sessInval.InvalidateSession()
+			res.Obs.InvalidateBudgetStep++
+		}
 	}
 	l.prevDeadDone = deadDone
 	l.prevBudget = l.budget
@@ -433,9 +455,20 @@ func (l *Loop) decide() error {
 	l.warmed = true
 	if inEmergency {
 		l.warmed = false
+		// The guard actuated a vector the solver never chose; the session's
+		// memo now disagrees with the chip state, so the next decision must
+		// not answer from it (or patch a delta on top of it).
+		if l.sessInval != nil {
+			l.sessInval.InvalidateSession()
+			res.Obs.InvalidateEmergency++
+		}
 	}
 	if l.supRep != nil && (sup.Rung > 0 || sup.TimedOut || sup.Wedged) {
 		l.warmed = false
+		if l.sessInval != nil {
+			l.sessInval.InvalidateSession()
+			res.Obs.InvalidateDegraded++
+		}
 	}
 	stall := l.opt.Plan.MaxTransitionBetween(l.current, next)
 	// Per-core stall power: the worst-case endpoint of the transition
@@ -650,6 +683,10 @@ func (l *Loop) Finish() *Result {
 				res.Obs.SolverWarmSolves = ss.WarmFloored
 				res.Obs.SolverHintReturns = ss.HintReturns
 				res.Obs.SolverPruned = ss.Pruned
+				res.Obs.DirtyCores = ss.DirtyCores
+				res.Obs.DeltaSolves = ss.DeltaSolves
+				res.Obs.DeltaCertified = ss.DeltaCertified
+				res.Obs.DeltaFallbacks = ss.DeltaFallbacks
 			}
 		}
 	}

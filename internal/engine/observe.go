@@ -128,6 +128,23 @@ type ObsCounters struct {
 	SolverWarmSolves  int64
 	SolverHintReturns int64
 	SolverPruned      int64
+	// DirtyCores/DeltaSolves/DeltaCertified/DeltaFallbacks snapshot the
+	// session's delta-path counters at Finish: cores the generation handshake
+	// flagged changed across delta-eligible intervals, incremental re-solve
+	// attempts, attempts whose patched vector was certified optimal and
+	// returned without a full solve, and attempts demoted to a warm solve.
+	DirtyCores     int64
+	DeltaSolves    int64
+	DeltaCertified int64
+	DeltaFallbacks int64
+	// Invalidate* count the session invalidations the loop issued per
+	// discontinuity class: budget steps beyond the warm-hint tolerance, core
+	// death/completion changing the live set, emergency throttles, and
+	// supervisor degradation (rung > 0, watchdog timeout, or wedge).
+	InvalidateBudgetStep int
+	InvalidateCoreDeath  int
+	InvalidateEmergency  int
+	InvalidateDegraded   int
 	// TraceRecords counts DecisionTraces emitted to the attached Observer
 	// (zero when tracing is off).
 	TraceRecords int
@@ -174,6 +191,11 @@ type sessionOwner interface {
 // sessionReporter is the optional Policy facet exposing the session's
 // cumulative warm-start counters for Result.Obs.
 type sessionReporter interface{ SessionStats() (solver.SessionStats, bool) }
+
+// sessionInvalidator is the optional Policy facet the loop uses to drop the
+// session's memo, delta certificate, and stability flag at workload
+// discontinuities (satisfied by *core.SolverPolicy).
+type sessionInvalidator interface{ InvalidateSession() }
 
 // policyHolder lets the engine reach the decider's policy for nodeReporter.
 type policyHolder interface{ Policy() core.Policy }

@@ -56,6 +56,18 @@ type CalibrationResult struct {
 // history-table phase predictor per trace. A nil policies slice selects
 // CrossSubstratePolicies; nil budgetFracs selects e.Budgets.
 func (e *Env) CalibrationSweep(combo workload.Combo, budgetFracs []float64, intervals int, policies []core.Policy, history core.HistoryConfig) (*CalibrationResult, error) {
+	res, _, err := e.CalibrationSweepWithState(combo, budgetFracs, intervals, policies, history, nil)
+	return res, err
+}
+
+// CalibrationSweepWithState is CalibrationSweep plus history-state
+// persistence: a non-nil prime is imported into every history-predictor lane
+// before scoring (so the sweep measures the value of carried-over training),
+// and the returned state is the trained tables from the deterministic
+// reference lane — cell 0's cmpsim trace (first policy × first budget).
+// With prime nil, every lane starts cold and the sweep is bit-identical to
+// CalibrationSweep (the calibration goldens pin it).
+func (e *Env) CalibrationSweepWithState(combo workload.Combo, budgetFracs []float64, intervals int, policies []core.Policy, history core.HistoryConfig, prime *core.HistoryState) (*CalibrationResult, *core.HistoryState, error) {
 	if policies == nil {
 		policies = CrossSubstratePolicies()
 	}
@@ -63,10 +75,11 @@ func (e *Env) CalibrationSweep(combo workload.Combo, budgetFracs []float64, inte
 		budgetFracs = e.Budgets
 	}
 	if err := history.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &CalibrationResult{ComboID: combo.ID, Intervals: intervals, History: history}
 	cells := make([]CalibrationCell, len(policies)*len(budgetFracs))
+	var trained *core.HistoryState // written only by the i==0 worker
 	err := forEach(e.workers(), len(cells), func(i int) error {
 		pol := policies[i/len(budgetFracs)]
 		frac := budgetFracs[i%len(budgetFracs)]
@@ -78,7 +91,18 @@ func (e *Env) CalibrationSweep(combo workload.Combo, budgetFracs []float64, inte
 		score := func(t *obs.Trace, withHistory bool) (*calib.Score, error) {
 			var pred core.MatrixPredictor = e.Predictor()
 			if withHistory {
-				pred = core.NewHistoryPredictor(e.Predictor(), history)
+				hp := core.NewHistoryPredictor(e.Predictor(), history)
+				if prime != nil {
+					if err := hp.ImportState(prime); err != nil {
+						return nil, err
+					}
+				}
+				pred = hp
+				s, err := calib.ScoreTrace(t, e.Plan, pred)
+				if err == nil && i == 0 && t == cmpTrace {
+					trained = hp.ExportState()
+				}
+				return s, err
 			}
 			return calib.ScoreTrace(t, e.Plan, pred)
 		}
@@ -101,10 +125,10 @@ func (e *Env) CalibrationSweep(combo workload.Combo, budgetFracs []float64, inte
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out.Cells = cells
-	return out, nil
+	return out, trained, nil
 }
 
 // Table renders the sweep: per cell, power/throughput MAPE and Pearson r on

@@ -7,6 +7,7 @@ import (
 
 	"gpm/internal/cmpsim"
 	"gpm/internal/core"
+	"gpm/internal/engine"
 	"gpm/internal/fullsim"
 	"gpm/internal/metrics"
 	"gpm/internal/modes"
@@ -43,6 +44,11 @@ type CrossSubstrateRow struct {
 	// substrate's managed run tracks the budget.
 	TraceFit float64
 	FullFit  float64
+	// TraceObs / FullObs snapshot each run's engine observability counters
+	// (warm-start and delta-path session counters included) for machine-
+	// readable summaries.
+	TraceObs engine.ObsCounters
+	FullObs  engine.ObsCounters
 }
 
 // CrossSubstrateResult is the per-policy agreement report.
@@ -142,6 +148,8 @@ func (e *Env) CrossSubstrate(combo workload.Combo, budgetFrac float64, intervals
 			FullAvgPowerW:  full.AvgChipPowerW(),
 			TraceFit:       metrics.BudgetFit(tr.AvgChipPowerW(), budgetW),
 			FullFit:        metrics.BudgetFit(full.AvgChipPowerW(), budgetW),
+			TraceObs:       tr.Obs,
+			FullObs:        full.Obs,
 		}
 		if row.TraceDeg > row.FullDeg {
 			row.DegGap = row.TraceDeg - row.FullDeg

@@ -62,6 +62,38 @@ func BenchmarkFleetEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetEpochSteady measures the steady-state epoch: telemetry is
+// frozen (no chip stepping between rebalances), so after the settle epochs
+// every iteration takes the 0-dirty skip path — telemetry fold, generation
+// bookkeeping, grant smoothing, but no solve. `make bench-check` gates this
+// row's ns/op; the issue's ceiling is 6.5 µs.
+func BenchmarkFleetEpochSteady(b *testing.B) {
+	lib := testLib(b)
+	cfg := testConfig()
+	cfg.Chips = 8
+	f, err := New(lib, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.closeChips()
+	settled := false
+	for i := 0; i < 8; i++ {
+		if f.arbiter.rebalance(f, 0).SolveSkipped {
+			settled = true
+			break
+		}
+	}
+	if !settled {
+		b.Fatal("arbiter never settled into the skip path")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := f.arbiter.rebalance(f, 0); !st.SolveSkipped {
+			b.Fatalf("iteration %d re-solved: %+v", i, st)
+		}
+	}
+}
+
 // BenchmarkFleetEndToEnd measures a whole small scenario per op: build,
 // serve, arbitrate, finalize.
 func BenchmarkFleetEndToEnd(b *testing.B) {

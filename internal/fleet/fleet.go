@@ -388,6 +388,14 @@ type EpochStats struct {
 	// BacklogInstr and DemandInstr snapshot the queues the arbiter saw.
 	BacklogInstr []float64
 	DemandInstr  []float64
+	// DirtyChips counts chips whose efficiency estimate or demand changed
+	// since the previous epoch (the generation handshake's dirty set);
+	// SolveSkipped reports the arbiter reused the previous grant vector
+	// outright because nothing changed and the session attested stability.
+	// Neither field is folded into Fingerprint (both are solve-cost
+	// telemetry, not allocation outcomes).
+	DirtyChips   int
+	SolveSkipped bool
 }
 
 // Result is one fleet scenario outcome.

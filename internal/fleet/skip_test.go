@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gpm/internal/modes"
+)
+
+// TestFleetArbiterSteadyStateSkip pins the fleet leg of the change-detection
+// handshake: with frozen chip telemetry (no stepping between rebalances, so
+// every chip's (estEff, demand) pair is bit-identical epoch to epoch) the
+// arbiter must converge to skipping the epoch solve outright — SolveSkipped
+// with zero dirty chips and an unmoved grant vector — and any single
+// discontinuity (a cap move, one chip's demand changing) must force a real
+// solve before skipping resumes.
+func TestFleetArbiterSteadyStateSkip(t *testing.T) {
+	lib := testLib(t)
+	cfg := testConfig()
+	capNow := 0.0
+	cfg.FacilityCapW = func(time.Duration) float64 { return capNow }
+	f, err := New(lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.closeChips()
+	var env float64
+	for _, c := range f.chips {
+		env += c.envelopeW
+	}
+	capNow = 0.9 * env
+
+	// Epoch 0: everything is dirty (fresh matrices) and must solve.
+	st := f.arbiter.rebalance(f, 0)
+	if st.SolveSkipped {
+		t.Fatal("epoch 0 skipped the bootstrap solve")
+	}
+	if st.DirtyChips != len(f.chips) {
+		t.Fatalf("epoch 0 DirtyChips = %d, want %d (fresh matrices)", st.DirtyChips, len(f.chips))
+	}
+
+	// With telemetry frozen, dirt must drop to zero immediately and the skip
+	// must engage within a few epochs (the Hier session needs one repeat solve
+	// to attest its share state stable).
+	settled := -1
+	var vec modes.Vector
+	for e := 1; e <= 6; e++ {
+		vec = append(vec[:0], f.arbiter.lastVec...)
+		st = f.arbiter.rebalance(f, 0)
+		if st.DirtyChips != 0 {
+			t.Fatalf("epoch %d: DirtyChips = %d with frozen telemetry", e, st.DirtyChips)
+		}
+		if st.SolveSkipped {
+			settled = e
+			break
+		}
+	}
+	if settled < 0 {
+		t.Fatal("steady state never skipped the epoch solve")
+	}
+	if !reflect.DeepEqual(f.arbiter.lastVec, vec) {
+		t.Fatalf("skip moved the grant vector: %v -> %v", vec, f.arbiter.lastVec)
+	}
+
+	// The skip persists, the grant vector stays put, and the cap invariant
+	// (Σ grants ≤ cap — smoothing and rescale still run on skip epochs) holds.
+	for e := 0; e < 3; e++ {
+		st = f.arbiter.rebalance(f, 0)
+		if !st.SolveSkipped || st.DirtyChips != 0 {
+			t.Fatalf("settled epoch %d: SolveSkipped=%v DirtyChips=%d", e, st.SolveSkipped, st.DirtyChips)
+		}
+		if !reflect.DeepEqual(f.arbiter.lastVec, vec) {
+			t.Fatalf("settled epoch %d moved the grant vector", e)
+		}
+		var sum float64
+		for _, g := range st.GrantW {
+			sum += g
+		}
+		if sum > st.FacilityCapW*(1+1e-12) {
+			t.Fatalf("settled epoch %d: Σ grants %v exceeds cap %v", e, sum, st.FacilityCapW)
+		}
+	}
+
+	// A cap move alone — telemetry still frozen, zero dirty chips — must
+	// force a fresh solve.
+	capNow = 0.5 * env
+	st = f.arbiter.rebalance(f, 0)
+	if st.SolveSkipped {
+		t.Fatal("cap cut was answered by the skip path")
+	}
+	if st.DirtyChips != 0 {
+		t.Fatalf("cap cut dirtied %d chips; the cap alone should have forced the solve", st.DirtyChips)
+	}
+	resumed := false
+	for e := 0; e < 6; e++ {
+		if f.arbiter.rebalance(f, 0).SolveSkipped {
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Fatal("skipping never resumed after the cap settled")
+	}
+
+	// One chip's demand changing dirties exactly that chip and re-solves.
+	f.chips[1].backlogInstr = 5e8
+	st = f.arbiter.rebalance(f, 0)
+	if st.SolveSkipped {
+		t.Fatal("dirty chip was answered by the skip path")
+	}
+	if st.DirtyChips != 1 {
+		t.Fatalf("DirtyChips = %d after one chip's demand moved, want 1", st.DirtyChips)
+	}
+}

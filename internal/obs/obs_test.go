@@ -342,6 +342,36 @@ func TestCountersSnapshot(t *testing.T) {
 	}
 }
 
+// TestCountersTableDeltaRows checks the session/delta and invalidation rows
+// render exactly when their counters are live, and stay out of the table for
+// cold (sessionless) runs.
+func TestCountersTableDeltaRows(t *testing.T) {
+	var o engine.ObsCounters
+	cold := CountersTable(o).String()
+	for _, absent := range []string{"delta-solves", "invalidate-budget-step"} {
+		if strings.Contains(cold, absent) {
+			t.Errorf("cold counters table unexpectedly has %q:\n%s", absent, cold)
+		}
+	}
+	o.SolverMemoHits = 3
+	o.DirtyCores = 5
+	o.DeltaSolves = 4
+	o.DeltaCertified = 3
+	o.DeltaFallbacks = 1
+	o.InvalidateBudgetStep = 2
+	o.InvalidateCoreDeath = 1
+	out := CountersTable(o).String()
+	for _, want := range []string{
+		"solver-memo-hits", "delta-dirty-cores", "delta-solves", "delta-certified",
+		"delta-fallbacks", "invalidate-budget-step", "invalidate-core-death",
+		"invalidate-emergency", "invalidate-degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counters table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestSolverNodeCounting wires a counting SolverPolicy through the engine and
 // checks the node total reaches Result.Obs.
 func TestSolverNodeCounting(t *testing.T) {

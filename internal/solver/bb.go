@@ -223,7 +223,7 @@ func (b *BB) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	// Greedy incumbent seed. In LexTies mode the seed only tightens the
 	// pruning floor — the incumbent vector must be discovered by the lex
 	// DFS itself, or a greedy optimum could shadow a lex-smaller tie.
-	gv, _ := greedySolve(in, cp)
+	gv, _, _ := greedySolve(in, cp)
 	return b.solveFrom(in, cp, f, gv, math.Inf(-1), nil, start)
 }
 
@@ -291,7 +291,12 @@ func (b *BB) solveFrom(in Instance, cp *Checkpoint, f *frontier, gv modes.Vector
 
 	st.Nodes, st.Pruned = s.nodes, s.pruned
 	st.Exact = !s.aborted
-	st.Aborted = cp.Aborted()
+	// Report only this solve's own checkpoint trips. Reading the shared
+	// checkpoint's latched flag here would let a concurrent sibling (another
+	// cluster goroutine under Hier, another exhaustive shard) that tripped the
+	// budget mark THIS completed exact solve as aborted — inconsistent stats
+	// (Exact && Aborted) and a lost memo entry.
+	st.Aborted = s.cpHit
 	st.Elapsed = time.Since(start)
 	if !s.have {
 		if seedFeasible {
@@ -317,7 +322,11 @@ type bbState struct {
 	nodes        int64
 	pruned       int64
 	aborted      bool
-	cpDebt       int64
+	// cpHit records that THIS solve's checkpoint charge tripped the budget —
+	// as opposed to `aborted`, which also covers the solver's own NodeLimit
+	// and a pre-latched checkpoint observed by a later Visit.
+	cpHit  bool
+	cpDebt int64
 }
 
 func (s *bbState) rec(c int, usedP, usedI float64) {
@@ -336,6 +345,7 @@ func (s *bbState) rec(c int, usedP, usedI float64) {
 			s.cpDebt = 0
 			if s.cp.Visit(debt) {
 				s.aborted = true
+				s.cpHit = true
 				return
 			}
 		}

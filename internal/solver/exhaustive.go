@@ -49,10 +49,10 @@ func (e *Exhaustive) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, St
 	total := int64(1)
 	for c := 0; c < n; c++ {
 		if total > maxEnumerable/int64(m) {
-			v, nodes := greedySolve(in, cp)
+			v, nodes, aborted := greedySolve(in, cp)
 			st.Exact = false
 			st.Nodes = nodes
-			st.Aborted = cp.Aborted()
+			st.Aborted = aborted
 			st.Elapsed = time.Since(start)
 			return v, st
 		}

@@ -70,6 +70,12 @@ type hierState struct {
 	cur    []float64
 	used   []float64
 	nodes  []int64
+	// sharesStable reports that the last solve left the Alpha-smoothed share
+	// state bit-identical to its value at entry (trivially true when Alpha is
+	// 0 or a single cluster covers the chip). Together with a completed solve
+	// it certifies that re-solving a bit-identical instance would reproduce
+	// the same vector — the Session's ResultStable signal.
+	sharesStable bool
 }
 
 // ensureInner sizes the per-cluster child sessions, closing any extras when
@@ -108,6 +114,12 @@ func (h *Hier) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 func (h *Hier) solveWith(in Instance, cp *Checkpoint, hs *hierState, hint Hint) (modes.Vector, Stats) {
 	start := time.Now()
 	st := Stats{Solver: h.Name()}
+	if hs != nil {
+		// Paths that never touch hs.shares (Alpha == 0, single cluster, early
+		// aborts) leave the cross-interval state trivially stable; the
+		// Alpha > 0 share update below overwrites this with the real verdict.
+		hs.sharesStable = true
+	}
 	n := in.NumCores()
 	if n == 0 {
 		st.Exact = true
@@ -158,15 +170,18 @@ func (h *Hier) solveWith(in Instance, cp *Checkpoint, hs *hierState, hint Hint) 
 	// Global level: greedy demand shares plus an even headroom split.
 	var gv modes.Vector
 	var gnodes int64
+	var gaborted bool
 	if hs != nil && finiteInstance(in) {
-		gv, gnodes = heapGreedy(in, cp, &hs.gs)
+		gv, gnodes, gaborted = heapGreedy(in, cp, &hs.gs)
 	} else {
-		gv, gnodes = greedySolve(in, cp)
+		gv, gnodes, gaborted = greedySolve(in, cp)
 	}
 	st.Nodes += gnodes
-	if cp.Aborted() {
+	if gaborted {
 		// No time for the two-level decomposition: the (possibly partial)
-		// greedy vector is feasible whenever anything is.
+		// greedy vector is feasible whenever anything is. Gate on the demand
+		// pass's own checkpoint trip, not the shared latched flag, which a
+		// concurrent sibling may have set without this pass being short.
 		st.Aborted = true
 		st.Elapsed = time.Since(start)
 		return gv, st
@@ -290,6 +305,7 @@ func (h *Hier) solveWith(in Instance, cp *Checkpoint, hs *hierState, hint Hint) 
 	}
 
 	if h.Alpha > 0 && hs != nil {
+		hs.sharesStable = floatsBitEqual(hs.shares, used)
 		hs.shares = append(hs.shares[:0], used...)
 	}
 

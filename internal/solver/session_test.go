@@ -119,8 +119,8 @@ func TestHeapGreedyMatchesScan(t *testing.T) {
 		n := 4 + int(seed%13)
 		in := randInstance(seed, n, plan3(), 0.4+0.05*float64(seed%10))
 		var g greedyScratch
-		hv, _ := heapGreedy(in, nil, &g)
-		sv, _ := greedySolve(in, nil)
+		hv, _, _ := heapGreedy(in, nil, &g)
+		sv, _, _ := greedySolve(in, nil)
 		if !sv.Equal(hv) {
 			t.Fatalf("seed %d: heap %v != scan %v", seed, hv, sv)
 		}
@@ -137,8 +137,8 @@ func TestHeapGreedyMatchesScan(t *testing.T) {
 			}
 		}
 		var g greedyScratch
-		hv, _ := heapGreedy(in, nil, &g)
-		sv, _ := greedySolve(in, nil)
+		hv, _, _ := heapGreedy(in, nil, &g)
+		sv, _, _ := greedySolve(in, nil)
 		if !sv.Equal(hv) {
 			t.Fatalf("adversarial trial %d: heap %v != scan %v", trial, hv, sv)
 		}

@@ -52,6 +52,18 @@ type Instance struct {
 	// (core.Matrices.Flat provides it).
 	FlatPower []float64
 	FlatInstr []float64
+	// Gens/Gen/GenID, when GenID != 0, are the predictor change-detection
+	// handshake (core.Matrices.Generations): GenID identifies the matrix
+	// backing, Gen is its current generation, and Gens[c] is the generation
+	// at which core c's rows last changed. Like the flat aliases they are
+	// optional and never consulted for scoring — Sessions use them to turn
+	// the memo comparison into an O(1) generation check and to learn the
+	// dirty-core set for incremental re-solves. Callers that set them are
+	// responsible for the invariant that two instances with equal GenID and
+	// Gen have bit-identical matrices.
+	Gens  []uint64
+	Gen   uint64
+	GenID uint64
 }
 
 // NumCores returns the decision width.
@@ -242,9 +254,9 @@ func (g Greedy) Solve(in Instance) (modes.Vector, Stats) {
 // SolveBounded implements Bounded.
 func (g Greedy) SolveBounded(in Instance, cp *Checkpoint) (modes.Vector, Stats) {
 	start := time.Now()
-	v, nodes := greedySolve(in, cp)
+	v, nodes, aborted := greedySolve(in, cp)
 	st := Stats{Solver: g.Name(), Nodes: nodes, Elapsed: time.Since(start)}
-	st.Aborted = cp.Aborted()
+	st.Aborted = aborted
 	return v, st
 }
 
@@ -269,14 +281,16 @@ func upgradeDelta(in Instance, c int, cur modes.Mode) (dp, ratio float64) {
 // greedySolve is the shared greedy kernel; BB seeds its incumbent and Hier
 // derives its demand shares from it. The checkpoint is consulted once per
 // upgrade pass; an aborted pass returns the vector built so far, which is
-// feasible by construction (upgrades are only applied when they fit).
-func greedySolve(in Instance, cp *Checkpoint) (modes.Vector, int64) {
+// feasible by construction (upgrades are only applied when they fit). The
+// aborted result reports this solve's own checkpoint trips — not the shared
+// checkpoint's latched flag, which another goroutine may have set after this
+// solve already completed.
+func greedySolve(in Instance, cp *Checkpoint) (v modes.Vector, nodes int64, aborted bool) {
 	n := in.NumCores()
-	v := in.deepestVector()
+	v = in.deepestVector()
 	power := in.VectorPower(v)
-	var nodes int64
 	if power > in.BudgetW {
-		return v, nodes // even the floor exceeds the budget
+		return v, nodes, false // even the floor exceeds the budget
 	}
 	for {
 		passStart := nodes
@@ -299,10 +313,10 @@ func greedySolve(in Instance, cp *Checkpoint) (modes.Vector, int64) {
 			}
 		}
 		if cp.Visit(nodes - passStart) {
-			return v, nodes
+			return v, nodes, true
 		}
 		if bestCore < 0 {
-			return v, nodes
+			return v, nodes, false
 		}
 		v[bestCore]--
 		power += bestDP

@@ -113,7 +113,7 @@ func TestExhaustiveIntractableFallsBackToGreedy(t *testing.T) {
 	if st.Exact {
 		t.Fatal("64-core exhaustive should not claim exactness")
 	}
-	gv, _ := greedySolve(in, nil)
+	gv, _, _ := greedySolve(in, nil)
 	if !v.Equal(gv) {
 		t.Fatal("intractable fallback should be the greedy vector")
 	}
@@ -167,7 +167,7 @@ func TestBBNodeLimitReturnsFeasibleIncumbent(t *testing.T) {
 	if p := in.VectorPower(v); p > in.BudgetW {
 		t.Fatalf("node-limited bb returned infeasible vector: %g > %g", p, in.BudgetW)
 	}
-	gv, _ := greedySolve(in, nil)
+	gv, _, _ := greedySolve(in, nil)
 	if in.VectorInstr(v) < in.VectorInstr(gv) {
 		t.Fatal("node-limited bb fell below its greedy seed")
 	}
